@@ -1,0 +1,156 @@
+// google-benchmark microbenchmarks for the hot kernels behind Table I's
+// per-sample timing: Verilog frontend, DFG pipeline, featurization,
+// GCN/pooling forward, whole-graph embedding, and the classical baseline
+// for contrast.
+#include <benchmark/benchmark.h>
+
+#include "baseline/graph_similarity.h"
+#include "core/gnn4ip.h"
+#include "data/corpus.h"
+#include "data/rtl_designs.h"
+#include "verilog/parser.h"
+
+namespace {
+
+using namespace gnn4ip;
+
+const std::string& small_rtl() {
+  static const std::string src = data::gen_adder({0, 1});
+  return src;
+}
+
+const std::string& medium_rtl() {
+  static const std::string src = data::gen_mips_pipeline({0, 1});
+  return src;
+}
+
+const std::string& netlist_src() {
+  static const std::string src =
+      data::build_netlist_family("nl_mult4").to_verilog();
+  return src;
+}
+
+void BM_ParseSmallRtl(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verilog::parse(small_rtl()));
+  }
+}
+BENCHMARK(BM_ParseSmallRtl);
+
+void BM_ParseMediumRtl(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verilog::parse(medium_rtl()));
+  }
+}
+BENCHMARK(BM_ParseMediumRtl);
+
+void BM_ExtractDfgSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::extract_dfg(small_rtl()));
+  }
+}
+BENCHMARK(BM_ExtractDfgSmall);
+
+void BM_ExtractDfgMedium(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::extract_dfg(medium_rtl()));
+  }
+}
+BENCHMARK(BM_ExtractDfgMedium);
+
+void BM_ExtractDfgNetlist(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfg::extract_dfg(netlist_src()));
+  }
+}
+BENCHMARK(BM_ExtractDfgNetlist);
+
+void BM_Featurize(benchmark::State& state) {
+  const graph::Digraph g = dfg::extract_dfg(medium_rtl());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gnn::featurize(g));
+  }
+}
+BENCHMARK(BM_Featurize);
+
+void BM_GcnForward(benchmark::State& state) {
+  const gnn::GraphTensors t = gnn::featurize(dfg::extract_dfg(medium_rtl()));
+  util::Rng rng(1);
+  gnn::GcnLayer layer(t.x.cols(), 16, rng);
+  for (auto _ : state) {
+    tensor::Tape tape;
+    tensor::Var x = tape.constant(t.x);
+    benchmark::DoNotOptimize(layer.forward(tape, t.adj, x));
+  }
+}
+BENCHMARK(BM_GcnForward);
+
+void BM_Hw2VecEmbedMedium(benchmark::State& state) {
+  const gnn::GraphTensors t = gnn::featurize(dfg::extract_dfg(medium_rtl()));
+  gnn::Hw2Vec model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.embed_inference(t));
+  }
+}
+BENCHMARK(BM_Hw2VecEmbedMedium);
+
+void BM_Hw2VecTrainStep(benchmark::State& state) {
+  const gnn::GraphTensors t = gnn::featurize(dfg::extract_dfg(medium_rtl()));
+  gnn::Hw2Vec model;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    tensor::Tape tape;
+    tensor::Var h = model.embed(tape, t, rng, /*training=*/true);
+    tensor::Var target =
+        tape.constant(tensor::Matrix::ones(1, h.value().cols()));
+    tensor::Var sim = tape.cosine_similarity(h, target);
+    tensor::Var loss = tape.cosine_embedding_loss(sim, 1, 0.5F);
+    tape.backward(loss);
+    benchmark::DoNotOptimize(loss.value().at(0, 0));
+    for (tensor::Parameter* p : model.parameters()) p->zero_grad();
+  }
+}
+BENCHMARK(BM_Hw2VecTrainStep);
+
+void BM_SpmmMedium(benchmark::State& state) {
+  const gnn::GraphTensors t = gnn::featurize(dfg::extract_dfg(medium_rtl()));
+  tensor::Matrix x(t.num_nodes, 16, 0.5F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.adj->multiply(x));
+  }
+}
+BENCHMARK(BM_SpmmMedium);
+
+void BM_BaselineWl(benchmark::State& state) {
+  const graph::Digraph a = dfg::extract_dfg(medium_rtl());
+  const graph::Digraph b =
+      dfg::extract_dfg(data::gen_mips_single({0, 2}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(baseline::wl_histogram_similarity(a, b));
+  }
+}
+BENCHMARK(BM_BaselineWl);
+
+void BM_BaselineNeighborMatching(benchmark::State& state) {
+  const graph::Digraph a = dfg::extract_dfg(medium_rtl());
+  const graph::Digraph b =
+      dfg::extract_dfg(data::gen_mips_single({0, 2}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        baseline::neighbor_matching_similarity(a, b, {.iterations = 4}));
+  }
+}
+BENCHMARK(BM_BaselineNeighborMatching);
+
+void BM_ObfuscateNetlist(benchmark::State& state) {
+  const data::Netlist base = data::build_netlist_family("nl_alu4");
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::obfuscate(base, {}, rng));
+  }
+}
+BENCHMARK(BM_ObfuscateNetlist);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,250 @@
+// Reproduces §IV-F: comparison with rival methods.
+//
+//  * Watermarking (Rai et al. [10]): reports Pc = 1.11e-87 at 0.13%–26%
+//    area overhead. The comparable ML metric is the false-negative rate;
+//    the paper reports FNR 0 (netlist) and 6.65e-4 (RTL) at zero hardware
+//    overhead. This bench recomputes FNR on both corpora.
+//  * Graph-similarity algorithms (Fyrbiak et al. [6]): "computation time
+//    in the order of minutes" vs milliseconds for GNN4IP. This bench
+//    times our classical neighbor-matching and WL baselines against
+//    hw2vec inference on identical DFG pairs, and scores their
+//    discrimination quality on the same held-out pairs.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/graph_similarity.h"
+#include "common.h"
+#include "data/corpus.h"
+#include "data/rtl_designs.h"
+#include "dfg/pipeline.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gnn4ip;
+  bench::print_header("§IV-F: comparison with rival methods");
+
+  // --- FNR vs watermarking -----------------------------------------------------
+  data::RtlCorpusOptions rtl_options;
+  rtl_options.instances_per_family =
+      bench::scale().rtl_instances_per_family;
+  bench::TrainSetup setup;
+  setup.epochs = bench::scale().epochs;
+  const bench::TrainedModel rtl_model = bench::train_model(
+      make_graph_entries(data::build_rtl_corpus(rtl_options)), setup);
+
+  data::NetlistCorpusOptions nl_options;
+  nl_options.instances_per_family =
+      bench::scale().netlist_instances_per_family;
+  const bench::TrainedModel nl_model = bench::train_model(
+      make_graph_entries(data::build_netlist_corpus(nl_options)), setup);
+
+  std::printf("\nFalse-negative rate (the watermarking-comparable metric):\n");
+  std::printf("  %-10s %12s %14s\n", "dataset", "FNR", "paper FNR");
+  std::printf("  %-10s %12.2e %14s\n", "RTL",
+              rtl_model.eval.confusion.false_negative_rate(), "6.65e-4");
+  std::printf("  %-10s %12.2e %14s\n", "Netlist",
+              nl_model.eval.confusion.false_negative_rate(), "0");
+  std::printf(
+      "  watermarking [10]: Pc = 1.11e-87 but 0.13%%–26.12%% area overhead\n"
+      "  and vulnerable to removal/masking/forging; GNN4IP adds zero\n"
+      "  hardware overhead.\n");
+
+  // --- runtime + quality vs graph-similarity algorithms --------------------------
+  // Time all three methods on the same sample of held-out RTL pairs.
+  const auto& ds = *rtl_model.dataset;
+  const auto& test = rtl_model.trainer->split().test;
+  const std::size_t sample_count = std::min<std::size_t>(12, test.size());
+
+  std::vector<float> gnn_scores;
+  std::vector<double> nm_scores;
+  std::vector<double> wl_scores;
+  std::vector<int> labels;
+
+  const auto t_gnn = Clock::now();
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    const train::PairSample& p = ds.pairs()[test[k]];
+    gnn_scores.push_back(bench::cosine(rtl_model.embed(p.a),
+                                       rtl_model.embed(p.b)));
+  }
+  const double gnn_seconds = seconds_since(t_gnn);
+
+  // Rebuild the raw DFGs once for the classical algorithms.
+  std::vector<graph::Digraph> dfgs;
+  {
+    data::RtlCorpusOptions opts = rtl_options;
+    const auto items = data::build_rtl_corpus(opts);
+    dfgs.reserve(items.size());
+    for (const auto& item : items) {
+      dfgs.push_back(dfg::extract_dfg(item.verilog));
+    }
+  }
+
+  const auto t_wl = Clock::now();
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    const train::PairSample& p = ds.pairs()[test[k]];
+    wl_scores.push_back(
+        baseline::wl_histogram_similarity(dfgs[p.a], dfgs[p.b]));
+  }
+  const double wl_seconds = seconds_since(t_wl);
+
+  const auto t_nm = Clock::now();
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    const train::PairSample& p = ds.pairs()[test[k]];
+    nm_scores.push_back(baseline::neighbor_matching_similarity(
+        dfgs[p.a], dfgs[p.b], {.iterations = 8}));
+  }
+  const double nm_seconds = seconds_since(t_nm);
+
+  for (std::size_t k = 0; k < sample_count; ++k) {
+    labels.push_back(ds.pairs()[test[k]].label);
+  }
+
+  // Quality: accuracy at each method's own best threshold over a larger
+  // score sample (cheap for GNN/WL; reuse the 12-pair sample for NM).
+  std::vector<float> wl_scores_f(wl_scores.begin(), wl_scores.end());
+  std::vector<float> nm_scores_f(nm_scores.begin(), nm_scores.end());
+  const double gnn_acc =
+      train::confusion_at(gnn_scores, labels,
+                          train::tune_threshold(gnn_scores, labels))
+          .accuracy();
+  const double wl_acc =
+      train::confusion_at(wl_scores_f, labels,
+                          train::tune_threshold(wl_scores_f, labels))
+          .accuracy();
+  const double nm_acc =
+      train::confusion_at(nm_scores_f, labels,
+                          train::tune_threshold(nm_scores_f, labels))
+          .accuracy();
+
+  std::printf("\nRuntime and quality on %zu held-out RTL DFG pairs:\n",
+              sample_count);
+  std::printf("  %-28s %16s %14s\n", "method", "ms per pair",
+              "best-threshold acc");
+  std::printf("  %-28s %16.3f %13.1f%%\n", "GNN4IP (hw2vec, ours)",
+              1e3 * gnn_seconds / sample_count, 100.0 * gnn_acc);
+  std::printf("  %-28s %16.3f %13.1f%%\n", "WL histogram (classical)",
+              1e3 * wl_seconds / sample_count, 100.0 * wl_acc);
+  std::printf("  %-28s %16.3f %13.1f%%\n", "neighbor matching [6]-style",
+              1e3 * nm_seconds / sample_count, 100.0 * nm_acc);
+
+  // --- scaling: industrial-size netlist DFGs ----------------------------------
+  // The paper's §IV-F point: graph-similarity algorithms take minutes on
+  // large designs while GNN4IP stays in milliseconds. Time one pair of
+  // ISCAS-scale netlist DFGs (c432-vs-c499 stand-ins).
+  {
+    const auto benches = data::iscas_benchmarks();
+    const graph::Digraph big_a =
+        dfg::extract_dfg(benches[0].netlist.to_verilog());  // c432
+    const graph::Digraph big_b =
+        dfg::extract_dfg(benches[1].netlist.to_verilog());  // c499
+    const gnn::GraphTensors ta = gnn::featurize(big_a);
+    const gnn::GraphTensors tb = gnn::featurize(big_b);
+
+    const auto t_gnn_big = Clock::now();
+    const tensor::Matrix ha = nl_model.model->embed_inference(ta);
+    const tensor::Matrix hb = nl_model.model->embed_inference(tb);
+    volatile float sink = bench::cosine(ha, hb);
+    (void)sink;
+    const double gnn_big = seconds_since(t_gnn_big);
+
+    const auto t_wl_big = Clock::now();
+    (void)baseline::wl_histogram_similarity(big_a, big_b);
+    const double wl_big = seconds_since(t_wl_big);
+
+    const auto t_nm_big = Clock::now();
+    (void)baseline::neighbor_matching_similarity(big_a, big_b,
+                                                 {.iterations = 4});
+    const double nm_big = seconds_since(t_nm_big);
+
+    std::printf(
+        "\nScaling on ISCAS-size netlist DFGs (%zu vs %zu nodes, one pair):\n",
+        big_a.num_nodes(), big_b.num_nodes());
+    std::printf("  %-28s %16.1f ms\n", "GNN4IP (hw2vec, ours)",
+                1e3 * gnn_big);
+    std::printf("  %-28s %16.1f ms\n", "WL histogram (classical)",
+                1e3 * wl_big);
+    std::printf("  %-28s %16.1f ms   (quadratic in graph size)\n",
+                "neighbor matching [6]-style", 1e3 * nm_big);
+  }
+
+  // --- the §I-B challenge: same behavior, different topology -------------------
+  // Classical similarity collapses on same-design pairs written in
+  // different styles; the GNN keeps them together. Mean scores over
+  // cross-style same-design pairs vs cross-design pairs:
+  {
+    struct Gen {
+      const char* family;
+      std::string (*gen)(const data::RtlVariant&);
+      int styles;
+    };
+    const Gen gens[] = {
+        {"adder", data::gen_adder, 3},
+        {"crc8", data::gen_crc8, 2},
+        {"multiplier", data::gen_multiplier, 2},
+        {"parity", data::gen_parity, 2},
+    };
+    double gnn_same = 0.0;
+    double wl_same = 0.0;
+    double gnn_cross = 0.0;
+    double wl_cross = 0.0;
+    int same_count = 0;
+    int cross_count = 0;
+    std::vector<graph::Digraph> graphs;
+    std::vector<tensor::Matrix> embeddings;
+    std::vector<int> family_of;
+    for (int f = 0; f < 4; ++f) {
+      for (int s = 0; s < gens[f].styles; ++s) {
+        graphs.push_back(dfg::extract_dfg(
+            gens[f].gen(data::RtlVariant{s, static_cast<std::uint64_t>(
+                                                 900 + f * 10 + s)})));
+        embeddings.push_back(
+            rtl_model.model->embed_inference(gnn::featurize(graphs.back())));
+        family_of.push_back(f);
+      }
+    }
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      for (std::size_t j = i + 1; j < graphs.size(); ++j) {
+        const double wl =
+            baseline::wl_histogram_similarity(graphs[i], graphs[j]);
+        const double gn = bench::cosine(embeddings[i], embeddings[j]);
+        if (family_of[i] == family_of[j]) {
+          wl_same += wl;
+          gnn_same += gn;
+          ++same_count;
+        } else {
+          wl_cross += wl;
+          gnn_cross += gn;
+          ++cross_count;
+        }
+      }
+    }
+    std::printf(
+        "\nSame-behavior/different-topology challenge (§I-B), mean scores:\n");
+    std::printf("  %-28s %18s %18s %9s\n", "method",
+                "same design (x-style)", "different design", "gap");
+    std::printf("  %-28s %18.3f %18.3f %+8.3f\n", "GNN4IP (hw2vec, ours)",
+                gnn_same / same_count, gnn_cross / cross_count,
+                gnn_same / same_count - gnn_cross / cross_count);
+    std::printf("  %-28s %18.3f %18.3f %+8.3f\n", "WL histogram (classical)",
+                wl_same / same_count, wl_cross / cross_count,
+                wl_same / same_count - wl_cross / cross_count);
+  }
+
+  std::printf(
+      "\nShape check: neighbor matching is orders of magnitude slower per\n"
+      "pair and scales quadratically (the paper reports minutes vs\n"
+      "milliseconds on full designs); on cross-style same-design pairs the\n"
+      "GNN's same/different score gap should exceed the classical one —\n"
+      "behavioral learning beats topological matching (§I-B).\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Reproduces Table III: similarity scores for obfuscated ISCAS'85
+// benchmarks (stand-ins regenerated from each benchmark's documented
+// function — see DESIGN.md §1).
+//
+// Paper values: per-benchmark original-vs-obfuscated means of +0.99…+1.0,
+// overall +0.9976, cross-benchmark mean −0.1606, and 100% recognition of
+// the original IP inside its obfuscated versions.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.h"
+#include "data/corpus.h"
+
+int main() {
+  using namespace gnn4ip;
+  bench::print_header(
+      "Table III: piracy detection in obfuscated ISCAS'85 netlists");
+
+  // Train on the netlist corpus, which — like the paper's 143-netlist
+  // dataset — contains the ISCAS benchmarks and TrustHub-style obfuscated
+  // instances of them. The evaluation below uses *freshly generated*
+  // obfuscated instances (different obfuscation seeds), so every scored
+  // pair is unseen.
+  data::NetlistCorpusOptions nl_options;
+  nl_options.instances_per_family =
+      bench::scale().netlist_instances_per_family;
+  nl_options.iscas_obfuscated_per_benchmark =
+      bench::scale().obfuscated_per_benchmark;
+  bench::TrainSetup setup;
+  // The c499/c1355 twin pair (identical function, different gate basis)
+  // is the hardest discrimination in this table; it needs the longest
+  // training of all benches to resolve.
+  setup.epochs = bench::scale().epochs * 2;
+  const bench::TrainedModel tm = bench::train_model(
+      make_graph_entries(data::build_netlist_corpus(nl_options)), setup);
+  std::printf("trained on %zu netlist graphs — held-out accuracy %.2f%%\n",
+              tm.dataset->graphs().size(),
+              100.0 * tm.eval.confusion.accuracy());
+
+  const auto originals = make_graph_entries(data::build_iscas_originals());
+  data::IscasCorpusOptions iscas_options;
+  iscas_options.obfuscated_per_benchmark =
+      bench::scale().obfuscated_per_benchmark;
+  iscas_options.seed = 7777;  // disjoint from the training corpus seeds
+  const auto obfuscated =
+      make_graph_entries(data::build_iscas_obfuscated(iscas_options));
+
+  // Precompute embeddings.
+  std::map<std::string, tensor::Matrix> original_embedding;
+  for (const auto& e : originals) {
+    original_embedding.emplace(e.design, tm.embed(e));
+  }
+  std::vector<tensor::Matrix> obf_embeddings;
+  obf_embeddings.reserve(obfuscated.size());
+  for (const auto& e : obfuscated) {
+    obf_embeddings.push_back(tm.embed(e));
+  }
+
+  // Per-benchmark mean similarity between the original and its
+  // obfuscated instances + recognition (argmax over originals).
+  const char* kFunctions[] = {
+      "27-channel interrupt controller", "32-bit single error correcting",
+      "8-bit ALU", "32-bit single error correcting",
+      "16-bit single/double error detecting", "16 x 16 multiplier"};
+  const char* kNames[] = {"c432", "c499", "c880", "c1355", "c1908", "c6288"};
+  const double kPaperScores[] = {0.9998, 0.9928, 0.9996, 0.9993,
+                                 0.9999, 0.9945};
+
+  std::printf("\n  %-7s %-38s %9s %9s %7s\n", "circuit", "function",
+              "#circuits", "score", "paper");
+  double overall_sum = 0.0;
+  int overall_count = 0;
+  int recognized = 0;
+  int total_obf = 0;
+  for (int b = 0; b < 6; ++b) {
+    double sum = 0.0;
+    int count = 0;
+    for (std::size_t i = 0; i < obfuscated.size(); ++i) {
+      if (obfuscated[i].design != kNames[b]) continue;
+      const float s = bench::cosine(original_embedding.at(kNames[b]),
+                                    obf_embeddings[i]);
+      sum += s;
+      ++count;
+      // Recognition: the true original must be the best match.
+      float best = -2.0F;
+      std::string best_name;
+      for (const auto& [name, emb] : original_embedding) {
+        const float cand = bench::cosine(emb, obf_embeddings[i]);
+        if (cand > best) {
+          best = cand;
+          best_name = name;
+        }
+      }
+      if (best_name == kNames[b]) {
+        ++recognized;
+      } else {
+        std::printf("    miss: %s matched %s (score %+.4f vs own %+.4f)\n",
+                    obfuscated[i].name.c_str(), best_name.c_str(), best, s);
+      }
+      ++total_obf;
+    }
+    overall_sum += sum;
+    overall_count += count;
+    std::printf("  %-7s %-38s %9d %+9.4f %+7.4f\n", kNames[b], kFunctions[b],
+                count, count > 0 ? sum / count : 0.0, kPaperScores[b]);
+  }
+  std::printf("\n  between benchmarks and their obfuscated instances: %+7.4f"
+              "  (paper +0.9976)\n",
+              overall_count > 0 ? overall_sum / overall_count : 0.0);
+
+  // Cross-benchmark similarity (different designs at netlist level).
+  double cross_sum = 0.0;
+  int cross_count = 0;
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      cross_sum += bench::cosine(original_embedding.at(kNames[a]),
+                                 original_embedding.at(kNames[b]));
+      ++cross_count;
+    }
+  }
+  std::printf("  between different benchmarks:                      %+7.4f"
+              "  (paper -0.1606)\n",
+              cross_sum / cross_count);
+  std::printf("  original-IP recognition in obfuscated instances:  %d/%d"
+              "  (paper 100%%)\n",
+              recognized, total_obf);
+
+  std::printf(
+      "\nShape check: per-benchmark scores near +1, cross-benchmark mean\n"
+      "far below, and recognition at or near 100%% — obfuscation does not\n"
+      "hide the original IP from the model.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Inspect the DFG pipeline: extract the data-flow graph of a design
+// (the paper's Fig. 2 stages) and export GraphViz DOT for visualization.
+// Pass a Verilog file path to process your own design; without arguments
+// the Fig. 1 adder is used.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "dfg/node_kind.h"
+#include "dfg/pipeline.h"
+#include "graph/serialize.h"
+
+int main(int argc, char** argv) {
+  using namespace gnn4ip;
+
+  std::string source;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    source = buffer.str();
+  } else {
+    source = R"(
+module ADDER (Num1, Num2, Cin, Sum, Cout);
+  input Num1, Num2, Cin;
+  output Sum, Cout;
+  wire t1, t2, t3;
+  xor (t1, Num1, Num2);
+  and (t2, Num1, Num2);
+  and (t3, t1, Cin);
+  xor (Sum, t1, Cin);
+  or (Cout, t3, t2);
+endmodule
+)";
+  }
+
+  try {
+    const graph::Digraph g = dfg::extract_dfg(source);
+    const dfg::DfgSummary s = dfg::summarize(g);
+    std::printf("DFG: %zu nodes, %zu edges — %zu inputs, %zu outputs, "
+                "%zu operators\n",
+                s.num_nodes, s.num_edges, s.num_inputs, s.num_outputs,
+                s.num_operators);
+    std::printf("\nnode listing:\n");
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+      const auto id = static_cast<graph::NodeId>(v);
+      std::printf("  [%2zu] %-12s kind=%s  out-deg=%zu\n", v,
+                  g.node(id).name.c_str(),
+                  dfg::to_string(static_cast<dfg::NodeKind>(g.node(id).kind)),
+                  g.out_degree(id));
+    }
+    const std::string dot_path = "dfg.dot";
+    std::ofstream dot(dot_path);
+    dot << graph::to_dot(g, "dfg");
+    std::printf("\nwrote %s — render with: dot -Tpng dfg.dot -o dfg.png\n",
+                dot_path.c_str());
+  } catch (const verilog::ParseError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

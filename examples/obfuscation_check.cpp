@@ -1,0 +1,64 @@
+// Scenario: an adversary obfuscates a stolen gate-level netlist
+// (inverter pairs, buffer chains, dummy logic, gate decomposition, full
+// renaming) to evade detection — the paper's §IV-E experiment. GNN4IP
+// still recognizes the original IP because it learns behavior, not
+// wire names or gate-level idioms.
+#include <cstdio>
+
+#include "core/gnn4ip.h"
+#include "data/corpus.h"
+#include "data/iscas.h"
+#include "data/obfuscate.h"
+
+int main() {
+  using namespace gnn4ip;
+
+  std::printf("training detector on the bundled netlist corpus...\n");
+  data::NetlistCorpusOptions corpus;
+  corpus.instances_per_family = 8;
+  corpus.iscas_obfuscated_per_benchmark = 6;
+  DetectorConfig config;
+  config.model.seed = 5;
+  PiracyDetector detector(config);
+  train::TrainConfig tc;
+  tc.epochs = 120;
+  tc.learning_rate = 3e-3F;
+  const auto eval = detector.train_on(
+      make_graph_entries(data::build_netlist_corpus(corpus)), tc);
+  std::printf("held-out accuracy %.1f%%\n\n",
+              100.0 * eval.confusion.accuracy());
+  // Use the Eq. 7 margin as the decision boundary: the accuracy-tuned δ
+  // from a small corpus is tight around the training distribution, while
+  // heavy obfuscation legitimately costs some similarity. δ = margin is
+  // the principled "how much similarity counts as piracy" default.
+  detector.set_delta(0.5F);
+
+  // The "stolen" IP: the c880-style 8-bit ALU stand-in.
+  const data::Netlist original = data::build_c880_alu8();
+  std::printf("original IP: %s (%zu gates)\n",
+              original.module_name.c_str(), original.num_gates());
+
+  util::Rng rng(99);
+  for (int level = 1; level <= 3; ++level) {
+    data::ObfuscationConfig config;
+    config.inverter_pair_rate = 0.04 * level;
+    config.buffer_rate = 0.04 * level;
+    config.decompose_rate = 0.15 * level;
+    config.dummy_gates = 6 * level;
+    const data::Netlist stolen = data::obfuscate(original, config, rng);
+    const Verdict v =
+        detector.check(original.to_verilog(), stolen.to_verilog());
+    std::printf(
+        "obfuscation level %d: %4zu gates (+%3zu)  score %+.4f -> %s\n",
+        level, stolen.num_gates(), stolen.num_gates() - original.num_gates(),
+        v.similarity, v.is_piracy ? "PIRACY DETECTED" : "missed");
+  }
+
+  // Contrast: a genuinely different circuit scores low.
+  const data::Netlist different = data::build_c432_interrupt_controller();
+  const Verdict v =
+      detector.check(original.to_verilog(), different.to_verilog());
+  std::printf("\nunrelated design (c432-style):            score %+.4f -> %s\n",
+              v.similarity, v.is_piracy ? "piracy?!" : "no piracy");
+  return 0;
+}

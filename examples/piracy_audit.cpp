@@ -1,0 +1,69 @@
+// Scenario: an IP vendor audits a portfolio of incoming third-party
+// designs against its own IP library — the paper's core use case
+// ("an effective IP piracy detection method is crucial for IP providers
+// to disclose the theft").
+//
+// The vendor library holds several in-house designs. The incoming batch
+// contains (a) honest unrelated designs, (b) a renamed copy of a library
+// IP, and (c) a restructured (style-converted) copy. The audit embeds
+// everything once and prints a similarity matrix plus flagged pairs.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/gnn4ip.h"
+#include "data/rtl_designs.h"
+
+int main() {
+  using namespace gnn4ip;
+
+  std::printf("training detector on the bundled corpus...\n");
+  data::RtlCorpusOptions corpus;
+  corpus.instances_per_family = 6;
+  DetectorConfig config;
+  config.model.seed = 5;
+  PiracyDetector detector(config);
+  train::TrainConfig tc;
+  tc.epochs = 60;
+  tc.learning_rate = 3e-3F;
+  const auto eval = detector.train_on(
+      make_graph_entries(data::build_rtl_corpus(corpus)), tc);
+  std::printf("held-out accuracy %.1f%%\n\n",
+              100.0 * eval.confusion.accuracy());
+
+  struct Ip {
+    std::string name;
+    std::string verilog;
+  };
+  // Vendor library (unseen instance seeds).
+  const std::vector<Ip> library = {
+      {"lib:crc8", data::gen_crc8({0, 7001})},
+      {"lib:uart_tx", data::gen_uart_tx({0, 7002})},
+      {"lib:fifo_ctrl", data::gen_fifo_ctrl({0, 7003})},
+  };
+  // Incoming portfolio: one honest design, one renamed CRC copy, one
+  // style-rewritten UART.
+  const std::vector<Ip> incoming = {
+      {"in:pwm (honest)", data::gen_pwm({0, 7004})},
+      {"in:crc8-renamed (stolen)", data::gen_crc8({0, 7005})},
+      {"in:uart-restyled (stolen)", data::gen_uart_tx({1, 7006})},
+  };
+
+  std::printf("%-28s", "similarity");
+  for (const Ip& lib : library) std::printf(" %14s", lib.name.c_str());
+  std::printf("\n");
+
+  int flagged = 0;
+  for (const Ip& candidate : incoming) {
+    std::printf("%-28s", candidate.name.c_str());
+    for (const Ip& lib : library) {
+      const Verdict v = detector.check(candidate.verilog, lib.verilog);
+      std::printf(" %+9.4f%s", v.similarity, v.is_piracy ? " [!] " : "     ");
+      if (v.is_piracy) ++flagged;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%d pair(s) flagged above delta = %+.3f\n", flagged,
+              detector.delta());
+  return 0;
+}

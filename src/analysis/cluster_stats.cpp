@@ -1,0 +1,129 @@
+#include "analysis/cluster_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "util/contract.h"
+
+namespace gnn4ip::analysis {
+namespace {
+
+double distance(const tensor::Matrix& points, std::size_t i, std::size_t j) {
+  double acc = 0.0;
+  const auto a = points.row(i);
+  const auto b = points.row(j);
+  for (std::size_t c = 0; c < points.cols(); ++c) {
+    const double diff = static_cast<double>(a[c]) - b[c];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+double silhouette_score(const tensor::Matrix& points,
+                        const std::vector<int>& labels) {
+  const std::size_t n = points.rows();
+  GNN4IP_ENSURE(labels.size() == n, "labels size mismatch");
+  std::set<int> clusters(labels.begin(), labels.end());
+  GNN4IP_ENSURE(clusters.size() >= 2, "silhouette needs ≥ 2 clusters");
+
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Mean distance to own cluster (a) and to the nearest other (b).
+    std::map<int, std::pair<double, std::size_t>> per_cluster;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      auto& [sum, count] = per_cluster[labels[j]];
+      sum += distance(points, i, j);
+      ++count;
+    }
+    const auto own = per_cluster.find(labels[i]);
+    if (own == per_cluster.end() || own->second.second == 0) {
+      continue;  // singleton cluster: silhouette undefined, skip
+    }
+    const double a = own->second.first / static_cast<double>(own->second.second);
+    double b = std::numeric_limits<double>::max();
+    for (const auto& [cluster, stat] : per_cluster) {
+      if (cluster == labels[i] || stat.second == 0) continue;
+      b = std::min(b, stat.first / static_cast<double>(stat.second));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double centroid_separation(const tensor::Matrix& points,
+                           const std::vector<int>& labels) {
+  const std::size_t n = points.rows();
+  GNN4IP_ENSURE(labels.size() == n, "labels size mismatch");
+  std::set<int> clusters(labels.begin(), labels.end());
+  GNN4IP_ENSURE(clusters.size() == 2, "centroid_separation expects 2 clusters");
+  const int first = *clusters.begin();
+
+  const std::size_t d = points.cols();
+  std::vector<double> c0(d, 0.0);
+  std::vector<double> c1(d, 0.0);
+  std::size_t n0 = 0;
+  std::size_t n1 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& target = labels[i] == first ? c0 : c1;
+    for (std::size_t c = 0; c < d; ++c) target[c] += points.at(i, c);
+    (labels[i] == first ? n0 : n1) += 1;
+  }
+  GNN4IP_ENSURE(n0 > 0 && n1 > 0, "empty cluster");
+  for (std::size_t c = 0; c < d; ++c) {
+    c0[c] /= static_cast<double>(n0);
+    c1[c] /= static_cast<double>(n1);
+  }
+  double between = 0.0;
+  for (std::size_t c = 0; c < d; ++c) {
+    const double diff = c0[c] - c1[c];
+    between += diff * diff;
+  }
+  between = std::sqrt(between);
+
+  double spread = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& centroid = labels[i] == first ? c0 : c1;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < d; ++c) {
+      const double diff = points.at(i, c) - centroid[c];
+      acc += diff * diff;
+    }
+    spread += std::sqrt(acc);
+  }
+  spread /= static_cast<double>(n);
+  return spread > 0.0 ? between / spread : std::numeric_limits<double>::max();
+}
+
+double nn_label_accuracy(const tensor::Matrix& points,
+                         const std::vector<int>& labels) {
+  const std::size_t n = points.rows();
+  GNN4IP_ENSURE(labels.size() == n && n >= 2, "bad inputs");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const double dist = distance(points, i, j);
+      if (dist < best) {
+        best = dist;
+        best_j = j;
+      }
+    }
+    if (labels[best_j] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace gnn4ip::analysis

@@ -1,0 +1,28 @@
+// Cluster-separation statistics used to quantify the "two well-separated
+// clusters" claim of Fig. 4(b,c) without eyeballing a plot.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4ip::analysis {
+
+/// Mean silhouette coefficient over all points for integer labels
+/// (requires ≥ 2 clusters, each with ≥ 1 point). Range [-1, 1]; higher
+/// means tighter, better-separated clusters.
+[[nodiscard]] double silhouette_score(const tensor::Matrix& points,
+                                      const std::vector<int>& labels);
+
+/// Ratio of the distance between cluster centroids to the mean
+/// intra-cluster spread (2-cluster Fisher-style separation; > 1 means
+/// the clusters are separated more than they spread).
+[[nodiscard]] double centroid_separation(const tensor::Matrix& points,
+                                         const std::vector<int>& labels);
+
+/// Leave-one-out 1-nearest-neighbor label accuracy — the operational
+/// "are the clusters separable" number.
+[[nodiscard]] double nn_label_accuracy(const tensor::Matrix& points,
+                                       const std::vector<int>& labels);
+
+}  // namespace gnn4ip::analysis

@@ -1,0 +1,117 @@
+#include "analysis/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contract.h"
+
+namespace gnn4ip::analysis {
+
+std::vector<float> jacobi_eigen(const tensor::Matrix& a,
+                                tensor::Matrix& vectors, int max_sweeps) {
+  const std::size_t n = a.rows();
+  GNN4IP_ENSURE(a.cols() == n, "jacobi_eigen requires a square matrix");
+  tensor::Matrix m = a;
+  vectors = tensor::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) vectors.at(i, i) = 1.0F;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass; stop when numerically diagonal.
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off += static_cast<double>(m.at(p, q)) * m.at(p, q);
+      }
+    }
+    if (off < 1e-18) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const float apq = m.at(p, q);
+        if (std::fabs(apq) < 1e-12F) continue;
+        const float app = m.at(p, p);
+        const float aqq = m.at(q, q);
+        const float theta = 0.5F * (aqq - app) / apq;
+        const float t = (theta >= 0.0F ? 1.0F : -1.0F) /
+                        (std::fabs(theta) +
+                         std::sqrt(theta * theta + 1.0F));
+        const float c = 1.0F / std::sqrt(t * t + 1.0F);
+        const float s = t * c;
+        // Rotate rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const float mkp = m.at(k, p);
+          const float mkq = m.at(k, q);
+          m.at(k, p) = c * mkp - s * mkq;
+          m.at(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const float mpk = m.at(p, k);
+          const float mqk = m.at(q, k);
+          m.at(p, k) = c * mpk - s * mqk;
+          m.at(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const float vkp = vectors.at(k, p);
+          const float vkq = vectors.at(k, q);
+          vectors.at(k, p) = c * vkp - s * vkq;
+          vectors.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  std::vector<float> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = m.at(i, i);
+  return eigenvalues;
+}
+
+PcaResult pca(const tensor::Matrix& x, std::size_t k) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  GNN4IP_ENSURE(n >= 2, "pca needs at least two samples");
+  GNN4IP_ENSURE(k >= 1 && k <= d, "pca component count out of range");
+
+  // Center columns.
+  tensor::Matrix centered = x;
+  for (std::size_t c = 0; c < d; ++c) {
+    double mean = 0.0;
+    for (std::size_t r = 0; r < n; ++r) mean += x.at(r, c);
+    mean /= static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      centered.at(r, c) -= static_cast<float>(mean);
+    }
+  }
+  // Covariance (D × D).
+  tensor::Matrix cov = tensor::matmul_at_b(centered, centered);
+  cov.scale_in_place(1.0F / static_cast<float>(n - 1));
+
+  tensor::Matrix vectors;
+  const std::vector<float> values = jacobi_eigen(cov, vectors);
+
+  // Order components by eigenvalue, descending.
+  std::vector<std::size_t> order(d);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&values](std::size_t a, std::size_t b) {
+    return values[a] > values[b];
+  });
+
+  PcaResult result;
+  result.components = tensor::Matrix(k, d);
+  result.eigenvalues.resize(k);
+  float total_variance = 0.0F;
+  for (float v : values) total_variance += std::max(v, 0.0F);
+  result.explained_variance_ratio.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t src = order[i];
+    result.eigenvalues[i] = values[src];
+    for (std::size_t c = 0; c < d; ++c) {
+      result.components.at(i, c) = vectors.at(c, src);
+    }
+    result.explained_variance_ratio[i] =
+        total_variance > 0.0F ? std::max(values[src], 0.0F) / total_variance
+                              : 0.0F;
+  }
+  result.projected = tensor::matmul_a_bt(centered, result.components);
+  return result;
+}
+
+}  // namespace gnn4ip::analysis

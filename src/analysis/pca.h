@@ -1,0 +1,31 @@
+// Principal component analysis for the Fig. 4(b) embedding projection.
+//
+// Column-centered covariance, eigendecomposition via cyclic Jacobi
+// rotations (embedding dimension is small — 16 — so Jacobi is exact and
+// fast), projection onto the top-k components ordered by eigenvalue.
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4ip::analysis {
+
+struct PcaResult {
+  tensor::Matrix projected;          // N × k scores
+  tensor::Matrix components;         // k × D principal axes (rows)
+  std::vector<float> eigenvalues;    // k largest, descending
+  std::vector<float> explained_variance_ratio;  // per kept component
+};
+
+/// Project row-sample matrix `x` (N × D) onto its top `k` components.
+[[nodiscard]] PcaResult pca(const tensor::Matrix& x, std::size_t k);
+
+/// Symmetric eigendecomposition by cyclic Jacobi; returns eigenvalues
+/// (unordered) and fills `vectors` with column eigenvectors. `a` must be
+/// symmetric.
+[[nodiscard]] std::vector<float> jacobi_eigen(const tensor::Matrix& a,
+                                              tensor::Matrix& vectors,
+                                              int max_sweeps = 64);
+
+}  // namespace gnn4ip::analysis

@@ -1,0 +1,173 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace gnn4ip::analysis {
+namespace {
+
+/// Squared Euclidean distances between rows.
+std::vector<double> pairwise_sq_dists(const tensor::Matrix& x) {
+  const std::size_t n = x.rows();
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const auto ri = x.row(i);
+      const auto rj = x.row(j);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        const double diff = static_cast<double>(ri[c]) - rj[c];
+        acc += diff * diff;
+      }
+      d2[i * n + j] = acc;
+      d2[j * n + i] = acc;
+    }
+  }
+  return d2;
+}
+
+/// Row conditional probabilities with per-point sigma from binary search
+/// on the target perplexity.
+std::vector<double> conditional_probs(const std::vector<double>& d2,
+                                      std::size_t n, double perplexity) {
+  std::vector<double> p(n * n, 0.0);
+  const double log_perp = std::log(perplexity);
+  for (std::size_t i = 0; i < n; ++i) {
+    double beta = 1.0;  // 1 / (2 sigma^2)
+    double beta_lo = 0.0;
+    double beta_hi = 1e12;
+    for (int iter = 0; iter < 64; ++iter) {
+      double sum = 0.0;
+      double entropy_acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double pij = std::exp(-beta * d2[i * n + j]);
+        sum += pij;
+        entropy_acc += beta * d2[i * n + j] * pij;
+      }
+      const double entropy =
+          sum > 0.0 ? std::log(sum) + entropy_acc / sum : 0.0;
+      const double diff = entropy - log_perp;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0.0) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e12 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta + beta_lo);
+      }
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      p[i * n + j] = std::exp(-beta * d2[i * n + j]);
+      sum += p[i * n + j];
+    }
+    if (sum <= 0.0) sum = 1e-12;
+    for (std::size_t j = 0; j < n; ++j) p[i * n + j] /= sum;
+  }
+  return p;
+}
+
+}  // namespace
+
+tensor::Matrix tsne(const tensor::Matrix& x, const TsneOptions& options) {
+  const std::size_t n = x.rows();
+  GNN4IP_ENSURE(n >= 4, "t-SNE needs at least 4 samples");
+  const double perplexity =
+      std::min(options.perplexity, static_cast<double>(n - 1) / 3.0);
+
+  const std::vector<double> d2 = pairwise_sq_dists(x);
+  std::vector<double> p_cond = conditional_probs(d2, n, perplexity);
+
+  // Symmetrize: P = (P + Pᵀ) / 2n, floored for numerical stability.
+  std::vector<double> p(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p[i * n + j] = std::max(
+          (p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n), 1e-12);
+    }
+  }
+
+  const double learning_rate =
+      options.learning_rate > 0.0
+          ? options.learning_rate
+          : std::max(static_cast<double>(n) / options.early_exaggeration,
+                     20.0);
+
+  // Init Y ~ N(0, 1e-4).
+  util::Rng rng(options.seed);
+  const std::size_t dims = options.out_dims;
+  std::vector<double> y(n * dims);
+  for (double& v : y) v = rng.normal() * 1e-2;
+  std::vector<double> velocity(n * dims, 0.0);
+  std::vector<double> gains(n * dims, 1.0);
+
+  std::vector<double> q(n * n, 0.0);
+  std::vector<double> num(n * n, 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t joint probabilities Q.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        double dist = 0.0;
+        for (std::size_t c = 0; c < dims; ++c) {
+          const double diff = y[i * dims + c] - y[j * dims + c];
+          dist += diff * diff;
+        }
+        const double inv = 1.0 / (1.0 + dist);
+        num[i * n + j] = inv;
+        num[j * n + i] = inv;
+        q_sum += 2.0 * inv;
+      }
+    }
+    if (q_sum <= 0.0) q_sum = 1e-12;
+    for (std::size_t i = 0; i < n * n; ++i) {
+      q[i] = std::max(num[i] / q_sum, 1e-12);
+    }
+    // Gradient + update with momentum and adaptive gains.
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum_initial
+                                : options.momentum_final;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < dims; ++c) {
+        double grad = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          const double mult = (exaggeration * p[i * n + j] - q[i * n + j]) *
+                              num[i * n + j];
+          grad += 4.0 * mult * (y[i * dims + c] - y[j * dims + c]);
+        }
+        const std::size_t idx = i * dims + c;
+        const bool same_sign = (grad > 0.0) == (velocity[idx] < 0.0);
+        gains[idx] = same_sign ? gains[idx] + 0.2 : gains[idx] * 0.8;
+        gains[idx] = std::max(gains[idx], 0.01);
+        velocity[idx] = momentum * velocity[idx] -
+                        learning_rate * gains[idx] * grad;
+        y[idx] += velocity[idx];
+      }
+    }
+    // Re-center.
+    for (std::size_t c = 0; c < dims; ++c) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y[i * dims + c];
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y[i * dims + c] -= mean;
+    }
+  }
+
+  tensor::Matrix out(n, dims);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < dims; ++c) {
+      out.at(i, c) = static_cast<float>(y[i * dims + c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gnn4ip::analysis

@@ -1,0 +1,31 @@
+// Exact t-SNE (van der Maaten & Hinton) for the Fig. 4(c) embedding
+// visualization. Exact pairwise implementation — the figure uses only
+// ~250 points, so no Barnes–Hut approximation is needed.
+#pragma once
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace gnn4ip::analysis {
+
+struct TsneOptions {
+  std::size_t out_dims = 3;       // paper plots a 3-D t-SNE
+  double perplexity = 30.0;
+  int iterations = 600;
+  /// <= 0 selects the max(N / early_exaggeration, 20) heuristic
+  /// (Belkina et al.), which converges reliably across sample counts.
+  double learning_rate = 0.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 100;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 150;
+  std::uint64_t seed = 3;
+};
+
+/// Map row-sample matrix `x` (N × D) to N × out_dims. Throws on fewer
+/// than 4 samples (perplexity calibration becomes meaningless).
+[[nodiscard]] tensor::Matrix tsne(const tensor::Matrix& x,
+                                  const TsneOptions& options = {});
+
+}  // namespace gnn4ip::analysis

@@ -1,0 +1,178 @@
+#include "baseline/graph_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace gnn4ip::baseline {
+namespace {
+
+/// Greedy max-weight matching over a similarity matrix: repeatedly take
+/// the best remaining (i, j) pair. Returns the matched weight sum.
+double greedy_assignment(const std::vector<double>& s, std::size_t na,
+                         std::size_t nb) {
+  struct Cell {
+    double value;
+    std::size_t i;
+    std::size_t j;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(na * nb);
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      cells.push_back({s[i * nb + j], i, j});
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const Cell& x, const Cell& y) {
+    return x.value > y.value;
+  });
+  std::vector<bool> used_a(na, false);
+  std::vector<bool> used_b(nb, false);
+  double total = 0.0;
+  std::size_t matched = 0;
+  const std::size_t target = std::min(na, nb);
+  for (const Cell& cell : cells) {
+    if (matched == target) break;
+    if (used_a[cell.i] || used_b[cell.j]) continue;
+    used_a[cell.i] = true;
+    used_b[cell.j] = true;
+    total += cell.value;
+    ++matched;
+  }
+  return total;
+}
+
+}  // namespace
+
+double neighbor_matching_similarity(const graph::Digraph& a,
+                                    const graph::Digraph& b,
+                                    const NeighborMatchingOptions& options) {
+  const std::size_t na = a.num_nodes();
+  const std::size_t nb = b.num_nodes();
+  GNN4IP_ENSURE(na > 0 && nb > 0, "similarity of empty graph");
+
+  // Initialize with kind agreement.
+  std::vector<double> s(na * nb, 0.0);
+  for (std::size_t i = 0; i < na; ++i) {
+    for (std::size_t j = 0; j < nb; ++j) {
+      s[i * nb + j] =
+          a.node(static_cast<graph::NodeId>(i)).kind ==
+                  b.node(static_cast<graph::NodeId>(j)).kind
+              ? 1.0
+              : 0.0;
+    }
+  }
+
+  std::vector<double> next(na * nb, 0.0);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    double max_delta = 0.0;
+    for (std::size_t i = 0; i < na; ++i) {
+      const auto in_a = a.in_neighbors(static_cast<graph::NodeId>(i));
+      const auto out_a = a.out_neighbors(static_cast<graph::NodeId>(i));
+      for (std::size_t j = 0; j < nb; ++j) {
+        const auto in_b = b.in_neighbors(static_cast<graph::NodeId>(j));
+        const auto out_b = b.out_neighbors(static_cast<graph::NodeId>(j));
+        // Couple in-neighborhoods and out-neighborhoods separately via
+        // greedy matching of neighbor similarities.
+        double in_score = 0.0;
+        if (!in_a.empty() && !in_b.empty()) {
+          std::vector<double> local(in_a.size() * in_b.size());
+          for (std::size_t p = 0; p < in_a.size(); ++p) {
+            for (std::size_t q = 0; q < in_b.size(); ++q) {
+              local[p * in_b.size() + q] =
+                  s[static_cast<std::size_t>(in_a[p]) * nb +
+                    static_cast<std::size_t>(in_b[q])];
+            }
+          }
+          in_score = greedy_assignment(local, in_a.size(), in_b.size()) /
+                     static_cast<double>(std::max(in_a.size(), in_b.size()));
+        } else if (in_a.empty() && in_b.empty()) {
+          in_score = 1.0;
+        }
+        double out_score = 0.0;
+        if (!out_a.empty() && !out_b.empty()) {
+          std::vector<double> local(out_a.size() * out_b.size());
+          for (std::size_t p = 0; p < out_a.size(); ++p) {
+            for (std::size_t q = 0; q < out_b.size(); ++q) {
+              local[p * out_b.size() + q] =
+                  s[static_cast<std::size_t>(out_a[p]) * nb +
+                    static_cast<std::size_t>(out_b[q])];
+            }
+          }
+          out_score =
+              greedy_assignment(local, out_a.size(), out_b.size()) /
+              static_cast<double>(std::max(out_a.size(), out_b.size()));
+        } else if (out_a.empty() && out_b.empty()) {
+          out_score = 1.0;
+        }
+        const bool kind_match =
+            a.node(static_cast<graph::NodeId>(i)).kind ==
+            b.node(static_cast<graph::NodeId>(j)).kind;
+        const double updated =
+            (kind_match ? 1.0 : 0.25) * 0.5 * (in_score + out_score);
+        max_delta = std::max(max_delta, std::fabs(updated - s[i * nb + j]));
+        next[i * nb + j] = updated;
+      }
+    }
+    s.swap(next);
+    if (max_delta < options.epsilon) break;
+  }
+
+  const double matched = greedy_assignment(s, na, nb);
+  return matched / static_cast<double>(std::max(na, nb));
+}
+
+double wl_histogram_similarity(const graph::Digraph& a,
+                               const graph::Digraph& b,
+                               const WlOptions& options) {
+  auto histogram = [&options](const graph::Digraph& g) {
+    std::map<std::uint64_t, double> hist;
+    const std::size_t n = g.num_nodes();
+    std::vector<std::uint64_t> color(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      color[v] = static_cast<std::uint64_t>(
+          g.node(static_cast<graph::NodeId>(v)).kind);
+      hist[color[v]] += 1.0;
+    }
+    std::vector<std::uint64_t> next(n);
+    for (int round = 0; round < options.rounds; ++round) {
+      for (std::size_t v = 0; v < n; ++v) {
+        std::uint64_t in_acc = 0;
+        std::uint64_t out_acc = 0;
+        for (graph::NodeId u : g.in_neighbors(static_cast<graph::NodeId>(v))) {
+          in_acc += color[static_cast<std::size_t>(u)] * 0x9E3779B97F4A7C15ULL;
+        }
+        for (graph::NodeId u :
+             g.out_neighbors(static_cast<graph::NodeId>(v))) {
+          out_acc += color[static_cast<std::size_t>(u)] * 0xC2B2AE3D27D4EB4FULL;
+        }
+        std::uint64_t h = color[v] * 0x165667B19E3779F9ULL;
+        h ^= in_acc + 0x27220A95ULL + (h << 6) + (h >> 2);
+        h ^= out_acc + 0x52DCE729ULL + (h << 6) + (h >> 2);
+        next[v] = h;
+        hist[h] += 1.0;
+      }
+      color.swap(next);
+    }
+    return hist;
+  };
+
+  const auto ha = histogram(a);
+  const auto hb = histogram(b);
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (const auto& [key, value] : ha) {
+    norm_a += value * value;
+    const auto it = hb.find(key);
+    if (it != hb.end()) dot += value * it->second;
+  }
+  for (const auto& [key, value] : hb) norm_b += value * value;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / std::sqrt(norm_a * norm_b);
+}
+
+}  // namespace gnn4ip::baseline

@@ -1,0 +1,36 @@
+// Classical graph-similarity baselines — the rival method class of
+// §IV-F (Fyrbiak et al., "Graph Similarity and its Applications to
+// Hardware Security"). Two algorithms:
+//
+//  * neighbor_matching_similarity — iterative node-similarity fixpoint
+//    (Zager/Blondel style coupled in/out-neighbor scores) followed by a
+//    greedy assignment; O(|Va|·|Vb|·d) per iteration, which is what makes
+//    the classical approach minutes-slow on realistic DFGs.
+//  * wl_histogram_similarity — Weisfeiler–Lehman subtree-label histogram
+//    cosine; the cheap end of the classical spectrum.
+//
+// Both return a similarity in [0, 1].
+#pragma once
+
+#include "graph/digraph.h"
+
+namespace gnn4ip::baseline {
+
+struct NeighborMatchingOptions {
+  int iterations = 16;
+  double epsilon = 1e-4;  // early stop when max delta falls below
+};
+
+[[nodiscard]] double neighbor_matching_similarity(
+    const graph::Digraph& a, const graph::Digraph& b,
+    const NeighborMatchingOptions& options = {});
+
+struct WlOptions {
+  int rounds = 3;
+};
+
+[[nodiscard]] double wl_histogram_similarity(const graph::Digraph& a,
+                                             const graph::Digraph& b,
+                                             const WlOptions& options = {});
+
+}  // namespace gnn4ip::baseline

@@ -1,0 +1,330 @@
+#include "data/corpus.h"
+
+#include <stdexcept>
+
+#include "data/rtl_designs.h"
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+std::vector<CorpusItem> build_rtl_corpus(const RtlCorpusOptions& options) {
+  std::vector<CorpusItem> items;
+  util::Rng seeder(options.seed);
+  for (const RtlFamily& family : rtl_families()) {
+    if (!options.families.empty()) {
+      bool wanted = false;
+      for (const std::string& f : options.families) {
+        if (f == family.name) wanted = true;
+      }
+      if (!wanted) continue;
+    }
+    for (int i = 0; i < options.instances_per_family; ++i) {
+      RtlVariant variant;
+      variant.style = i % family.num_styles;
+      variant.seed = seeder.next_u64();
+      CorpusItem item;
+      item.name = util::format("%s#%d", family.name.c_str(), i);
+      item.design = family.name;
+      item.kind = "rtl";
+      item.verilog = family.generate(variant);
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+// ---------------------------------------------------------------------------
+// Structural netlist families.
+// ---------------------------------------------------------------------------
+namespace {
+
+Netlist nl_adder8() {
+  NetlistBuilder b("nl_adder8");
+  const Bus a = b.input_bus("a", 8);
+  const Bus bb = b.input_bus("b", 8);
+  const Bit cin = b.input("cin");
+  const auto r = b.ripple_add(a, bb, cin);
+  b.output_bus("s", r.sum);
+  b.output("cout", r.carry);
+  return b.take();
+}
+
+Netlist nl_subtractor8() {
+  NetlistBuilder b("nl_sub8");
+  const Bus a = b.input_bus("a", 8);
+  const Bus bb = b.input_bus("b", 8);
+  const auto r = b.subtract(a, bb);
+  b.output_bus("d", r.sum);
+  b.output("bout", r.carry);
+  return b.take();
+}
+
+Netlist nl_alu4() {
+  NetlistBuilder b("nl_alu4");
+  const Bus a = b.input_bus("a", 4);
+  const Bus bb = b.input_bus("b", 4);
+  const Bit s0 = b.input("s0");
+  const Bit s1 = b.input("s1");
+  const auto sum = b.ripple_add(a, bb, Bit{});
+  const Bus and_r = b.bitwise("and", a, bb);
+  const Bus or_r = b.bitwise("or", a, bb);
+  const Bus xor_r = b.bitwise("xor", a, bb);
+  const Bus m1 = b.mux_bus(s0, xor_r, or_r);
+  const Bus m0 = b.mux_bus(s0, and_r, sum.sum);
+  b.output_bus("f", b.mux_bus(s1, m1, m0));
+  return b.take();
+}
+
+Netlist nl_mult4() {
+  NetlistBuilder b("nl_mult4");
+  const Bus a = b.input_bus("a", 4);
+  const Bus bb = b.input_bus("b", 4);
+  b.output_bus("p", b.multiply(a, bb));
+  return b.take();
+}
+
+Netlist nl_parity16() {
+  NetlistBuilder b("nl_parity16");
+  const Bus d = b.input_bus("d", 16);
+  const Bit even = b.xor_tree(d);
+  b.output("even", even);
+  b.output("odd", b.not1(even));
+  return b.take();
+}
+
+Netlist nl_comparator8() {
+  NetlistBuilder b("nl_cmp8");
+  const Bus a = b.input_bus("a", 8);
+  const Bus bb = b.input_bus("b", 8);
+  b.output("eq", b.equals(a, bb));
+  // a < b via subtraction borrow: a - b underflows iff a < b. Using
+  // two's-complement add: carry==0 means a < b.
+  const auto diff = b.subtract(a, bb);
+  b.output("lt", b.not1(diff.carry));
+  return b.take();
+}
+
+Netlist nl_decoder3to8() {
+  NetlistBuilder b("nl_dec3to8");
+  const Bit s0 = b.input("s0");
+  const Bit s1 = b.input("s1");
+  const Bit s2 = b.input("s2");
+  const Bit en = b.input("en");
+  const Bit n0 = b.not1(s0);
+  const Bit n1 = b.not1(s1);
+  const Bit n2 = b.not1(s2);
+  for (int i = 0; i < 8; ++i) {
+    const Bit t0 = (i & 1) != 0 ? s0 : n0;
+    const Bit t1 = (i & 2) != 0 ? s1 : n1;
+    const Bit t2 = (i & 4) != 0 ? s2 : n2;
+    b.output(util::format("y_%d", i), b.and_tree({t0, t1, t2, en}));
+  }
+  return b.take();
+}
+
+Netlist nl_mux8to1() {
+  NetlistBuilder b("nl_mux8");
+  const Bus d = b.input_bus("d", 8);
+  const Bit s0 = b.input("s0");
+  const Bit s1 = b.input("s1");
+  const Bit s2 = b.input("s2");
+  const Bus l0 = {b.mux2(s0, d[1], d[0]), b.mux2(s0, d[3], d[2]),
+                  b.mux2(s0, d[5], d[4]), b.mux2(s0, d[7], d[6])};
+  const Bus l1 = {b.mux2(s1, l0[1], l0[0]), b.mux2(s1, l0[3], l0[2])};
+  b.output("y", b.mux2(s2, l1[1], l1[0]));
+  return b.take();
+}
+
+Netlist nl_gray8() {
+  NetlistBuilder b("nl_gray8");
+  const Bus d = b.input_bus("bin", 8);
+  Bus g(8);
+  g[7] = b.buf1(d[7]);
+  for (int i = 0; i < 7; ++i) {
+    g[static_cast<std::size_t>(i)] =
+        b.xor2(d[static_cast<std::size_t>(i)],
+               d[static_cast<std::size_t>(i) + 1]);
+  }
+  b.output_bus("gray", g);
+  return b.take();
+}
+
+Netlist nl_priority8() {
+  NetlistBuilder b("nl_prio8");
+  const Bus req = b.input_bus("req", 8);
+  Bus win(8);
+  Bit none_before;
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 0) {
+      win[i] = b.buf1(req[i]);
+      none_before = b.not1(req[i]);
+    } else {
+      win[i] = b.and2(req[i], none_before);
+      none_before = b.and2(none_before, b.not1(req[i]));
+    }
+  }
+  b.output("valid", b.or_tree(std::vector<Bit>(req.begin(), req.end())));
+  b.output("y_0", b.or_tree({win[1], win[3], win[5], win[7]}));
+  b.output("y_1", b.or_tree({win[2], win[3], win[6], win[7]}));
+  b.output("y_2", b.or_tree({win[4], win[5], win[6], win[7]}));
+  return b.take();
+}
+
+Netlist nl_hamming12() {
+  NetlistBuilder b("nl_ham12");
+  const Bus d = b.input_bus("d", 8);
+  const Bit p0 = b.xor_tree({d[0], d[1], d[3], d[4], d[6]});
+  const Bit p1 = b.xor_tree({d[0], d[2], d[3], d[5], d[6]});
+  const Bit p2 = b.xor_tree({d[1], d[2], d[3], d[7]});
+  const Bit p3 = b.xor_tree({d[4], d[5], d[6], d[7]});
+  b.output("c_0", p0);
+  b.output("c_1", p1);
+  b.output("c_2", b.buf1(d[0]));
+  b.output("c_3", p2);
+  b.output("c_4", b.buf1(d[1]));
+  b.output("c_5", b.buf1(d[2]));
+  b.output("c_6", b.buf1(d[3]));
+  b.output("c_7", p3);
+  b.output("c_8", b.buf1(d[4]));
+  b.output("c_9", b.buf1(d[5]));
+  b.output("c_10", b.buf1(d[6]));
+  b.output("c_11", b.buf1(d[7]));
+  return b.take();
+}
+
+struct NetlistFamilyDef {
+  const char* name;
+  Netlist (*build)();
+};
+
+const NetlistFamilyDef kNetlistFamilies[] = {
+    {"nl_adder8", nl_adder8},         {"nl_sub8", nl_subtractor8},
+    {"nl_alu4", nl_alu4},             {"nl_mult4", nl_mult4},
+    {"nl_parity16", nl_parity16},     {"nl_cmp8", nl_comparator8},
+    {"nl_dec3to8", nl_decoder3to8},   {"nl_mux8", nl_mux8to1},
+    {"nl_gray8", nl_gray8},           {"nl_prio8", nl_priority8},
+    {"nl_ham12", nl_hamming12},
+};
+
+}  // namespace
+
+std::vector<std::string> netlist_family_names() {
+  std::vector<std::string> names;
+  for (const NetlistFamilyDef& def : kNetlistFamilies) {
+    names.emplace_back(def.name);
+  }
+  return names;
+}
+
+Netlist build_netlist_family(const std::string& family) {
+  for (const NetlistFamilyDef& def : kNetlistFamilies) {
+    if (family == def.name) return def.build();
+  }
+  throw std::invalid_argument("unknown netlist family '" + family + "'");
+}
+
+std::vector<CorpusItem> build_netlist_corpus(
+    const NetlistCorpusOptions& options) {
+  std::vector<CorpusItem> items;
+  util::Rng rng(options.seed);
+  for (const NetlistFamilyDef& def : kNetlistFamilies) {
+    const Netlist base = def.build();
+    for (int i = 0; i < options.instances_per_family; ++i) {
+      CorpusItem item;
+      item.name = util::format("%s#%d", def.name, i);
+      item.design = def.name;
+      item.kind = "netlist";
+      if (i == 0) {
+        item.verilog = base.to_verilog();
+      } else {
+        util::Rng child = rng.fork();
+        item.verilog = restructure(base, child).to_verilog();
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  if (options.include_iscas) {
+    for (const IscasBenchmark& bench : iscas_benchmarks()) {
+      CorpusItem original;
+      original.name = bench.name;
+      original.design = bench.name;
+      original.kind = "netlist";
+      original.verilog = bench.netlist.to_verilog();
+      items.push_back(std::move(original));
+      for (int i = 0; i < options.iscas_obfuscated_per_benchmark; ++i) {
+        util::Rng child = rng.fork();
+        CorpusItem item;
+        item.name = util::format("%s_obf#%d", bench.name.c_str(), i);
+        item.design = bench.name;
+        item.kind = "netlist";
+        item.verilog =
+            obfuscate(bench.netlist, options.iscas_obfuscation, child)
+                .to_verilog();
+        items.push_back(std::move(item));
+      }
+    }
+  }
+  return items;
+}
+
+std::vector<CorpusItem> build_iscas_originals() {
+  std::vector<CorpusItem> items;
+  for (const IscasBenchmark& bench : iscas_benchmarks()) {
+    CorpusItem item;
+    item.name = bench.name;
+    item.design = bench.name;
+    item.kind = "netlist";
+    item.verilog = bench.netlist.to_verilog();
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::vector<CorpusItem> build_iscas_obfuscated(
+    const IscasCorpusOptions& options) {
+  std::vector<CorpusItem> items;
+  util::Rng rng(options.seed);
+  for (const IscasBenchmark& bench : iscas_benchmarks()) {
+    for (int i = 0; i < options.obfuscated_per_benchmark; ++i) {
+      util::Rng child = rng.fork();
+      CorpusItem item;
+      item.name = util::format("%s_obf%d", bench.name.c_str(), i);
+      item.design = bench.name;
+      item.kind = "netlist";
+      item.verilog =
+          obfuscate(bench.netlist, options.obfuscation, child).to_verilog();
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+std::vector<CorpusItem> build_mips_visualization_corpus(int per_design,
+                                                        std::uint64_t seed) {
+  std::vector<CorpusItem> items;
+  util::Rng seeder(seed);
+  const struct {
+    const char* family;
+    std::string (*gen)(const RtlVariant&);
+  } kDesigns[] = {
+      {"mips_pipeline", gen_mips_pipeline},
+      {"mips_single", gen_mips_single},
+  };
+  for (const auto& design : kDesigns) {
+    for (int i = 0; i < per_design; ++i) {
+      RtlVariant variant;
+      variant.style = i % 2;
+      variant.seed = seeder.next_u64();
+      CorpusItem item;
+      item.name = util::format("%s#%d", design.family, i);
+      item.design = design.family;
+      item.kind = "rtl";
+      item.verilog = design.gen(variant);
+      items.push_back(std::move(item));
+    }
+  }
+  return items;
+}
+
+}  // namespace gnn4ip::data

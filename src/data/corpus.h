@@ -1,0 +1,78 @@
+// Corpus assembly: the synthetic stand-in for the paper's private
+// collection of 50 designs / 390 RTL codes / 143 netlists.
+//
+// RTL corpus: every family in rtl_designs.h × N instances (style cycled,
+// naming/order seeded per instance).
+// Netlist corpus: structural families built with NetlistBuilder × N
+// instances via restructure() (models different synthesis runs).
+// ISCAS set: the six Table III stand-ins plus obfuscated instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/iscas.h"
+#include "data/netlist.h"
+#include "data/obfuscate.h"
+
+namespace gnn4ip::data {
+
+/// One corpus entry: Verilog text plus labels.
+struct CorpusItem {
+  std::string name;    // unique instance name, e.g. "alu#3"
+  std::string design;  // family key — equal keys are piracy pairs
+  std::string kind;    // "rtl" or "netlist"
+  std::string verilog;
+};
+
+struct RtlCorpusOptions {
+  int instances_per_family = 8;
+  std::uint64_t seed = 11;
+  /// Restrict to these families (empty = all registered families).
+  std::vector<std::string> families;
+};
+
+[[nodiscard]] std::vector<CorpusItem> build_rtl_corpus(
+    const RtlCorpusOptions& options = {});
+
+struct NetlistCorpusOptions {
+  int instances_per_family = 6;
+  std::uint64_t seed = 13;
+  /// Include the ISCAS'85 stand-ins plus obfuscated instances, mirroring
+  /// the paper's netlist dataset (its 143 netlists cover the TrustHub
+  /// obfuscated ISCAS corpus used in §IV-E).
+  bool include_iscas = true;
+  int iscas_obfuscated_per_benchmark = 5;
+  ObfuscationConfig iscas_obfuscation;
+};
+
+/// Structural netlist family names (for tests/reporting).
+[[nodiscard]] std::vector<std::string> netlist_family_names();
+
+/// Base (un-restructured) netlist of a structural family.
+[[nodiscard]] Netlist build_netlist_family(const std::string& family);
+
+[[nodiscard]] std::vector<CorpusItem> build_netlist_corpus(
+    const NetlistCorpusOptions& options = {});
+
+struct IscasCorpusOptions {
+  /// Obfuscated instances per benchmark (paper Table III has 19–30).
+  int obfuscated_per_benchmark = 20;
+  std::uint64_t seed = 17;
+  ObfuscationConfig obfuscation;
+};
+
+/// The six originals; design key = benchmark name.
+[[nodiscard]] std::vector<CorpusItem> build_iscas_originals();
+
+/// Obfuscated instances (design key = benchmark name, so original ×
+/// obfuscated pairs are "piracy").
+[[nodiscard]] std::vector<CorpusItem> build_iscas_obfuscated(
+    const IscasCorpusOptions& options = {});
+
+/// MIPS-only RTL instances for the Fig. 4(b,c) embedding visualization:
+/// `per_design` instances each of pipeline and single-cycle MIPS.
+[[nodiscard]] std::vector<CorpusItem> build_mips_visualization_corpus(
+    int per_design, std::uint64_t seed = 23);
+
+}  // namespace gnn4ip::data

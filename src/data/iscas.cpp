@@ -1,0 +1,257 @@
+#include "data/iscas.h"
+
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+namespace {
+
+/// XOR in AND-OR-NOT form: the structural relation between c1355 and
+/// c499 (same function, expanded gate basis). Deliberately NOT the
+/// 4-NAND expansion the obfuscator uses, so an obfuscated c499 does not
+/// collapse onto c1355's structure.
+Bit xor_expanded(NetlistBuilder& b, const Bit& x, const Bit& y) {
+  const Bit nx = b.not1(x);
+  const Bit ny = b.not1(y);
+  const Bit t0 = b.and2(x, ny);
+  const Bit t1 = b.and2(nx, y);
+  return b.or2(t0, t1);
+}
+
+Bit make_xor(NetlistBuilder& b, const Bit& x, const Bit& y, bool nand_form) {
+  return nand_form ? xor_expanded(b, x, y) : b.xor2(x, y);
+}
+
+/// Syndrome/parity membership for the 32-bit SEC code: data bit i maps to
+/// codeword position i+1 shifted past the power-of-two parity slots.
+std::size_t data_position(std::size_t i) {
+  // Positions 1..38 skipping powers of two (1,2,4,8,16,32).
+  std::size_t pos = 1;
+  std::size_t seen = 0;
+  while (true) {
+    const bool is_pow2 = (pos & (pos - 1)) == 0;
+    if (!is_pow2) {
+      if (seen == i) return pos;
+      ++seen;
+    }
+    ++pos;
+  }
+}
+
+}  // namespace
+
+Netlist build_c432_interrupt_controller() {
+  NetlistBuilder b("c432_syn");
+  const Bus a = b.input_bus("a", 9);   // bus A requests (highest priority)
+  const Bus bb = b.input_bus("b", 9);  // bus B requests
+  const Bus c = b.input_bus("c", 9);   // bus C requests
+  const Bus e = b.input_bus("e", 9);   // per-channel enable mask
+
+  // Masked requests per bus.
+  Bus ra;
+  Bus rb;
+  Bus rc;
+  for (std::size_t i = 0; i < 9; ++i) {
+    ra.push_back(b.and2(a[i], e[i]));
+    rb.push_back(b.and2(bb[i], e[i]));
+    rc.push_back(b.and2(c[i], e[i]));
+  }
+  const Bit any_a = b.or_tree(ra);
+  const Bit any_b = b.or_tree(rb);
+  const Bit any_c = b.or_tree(rc);
+
+  // Bus grants with fixed priority A > B > C.
+  const Bit grant_a = b.buf1(any_a);
+  const Bit grant_b = b.and2(any_b, b.not1(any_a));
+  const Bit grant_c = b.and_tree({any_c, b.not1(any_a), b.not1(any_b)});
+  b.output("pa", grant_a);
+  b.output("pb", grant_b);
+  b.output("pc", grant_c);
+
+  // Channel select: requests of the granted bus, priority-encoded to 4
+  // bits (channel 0 wins ties).
+  Bus sel(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    const Bit from_a = b.and2(grant_a, ra[i]);
+    const Bit from_b = b.and2(grant_b, rb[i]);
+    const Bit from_c = b.and2(grant_c, rc[i]);
+    sel[i] = b.or_tree({from_a, from_b, from_c});
+  }
+  // Priority chain: win_i = sel_i & ~sel_0..i-1.
+  Bus win(9);
+  Bit none_before;
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (i == 0) {
+      win[i] = b.buf1(sel[i]);
+      none_before = b.not1(sel[i]);
+    } else {
+      win[i] = b.and2(sel[i], none_before);
+      none_before = b.and2(none_before, b.not1(sel[i]));
+    }
+  }
+  // Encode winner index (4 bits for 0..8).
+  const Bit enc0 = b.or_tree({win[1], win[3], win[5], win[7]});
+  const Bit enc1 = b.or_tree({win[2], win[3], win[6], win[7]});
+  const Bit enc2 = b.or_tree({win[4], win[5], win[6], win[7]});
+  const Bit enc3 = b.buf1(win[8]);
+  b.output("ch_0", enc0);
+  b.output("ch_1", enc1);
+  b.output("ch_2", enc2);
+  b.output("ch_3", enc3);
+  return b.take();
+}
+
+Netlist build_c499_sec32(bool nand_form) {
+  NetlistBuilder b(nand_form ? "c1355_syn" : "c499_syn");
+  const Bus d = b.input_bus("d", 32);  // received data bits
+  const Bus r = b.input_bus("r", 6);   // received check bits
+
+  // c1355 expands every gate into the NAND/inverter basis (the real
+  // benchmark is 546 gates vs c499's 202); AND trees follow suit.
+  auto and_all = [&b, nand_form](const std::vector<Bit>& xs) {
+    if (!nand_form) return b.and_tree(xs);
+    std::vector<Bit> level = xs;
+    while (level.size() > 1) {
+      std::vector<Bit> next;
+      for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+        next.push_back(b.not1(b.nand2(level[i], level[i + 1])));
+      }
+      if (level.size() % 2 == 1) next.push_back(level.back());
+      level = std::move(next);
+    }
+    return level.front();
+  };
+
+  // Recomputed check bits over the received data (Hamming positions).
+  std::vector<std::vector<Bit>> groups(6);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t pos = data_position(i);
+    for (std::size_t j = 0; j < 6; ++j) {
+      if ((pos >> j) & 1U) groups[j].push_back(d[i]);
+    }
+  }
+  Bus syndrome(6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    GNN4IP_ENSURE(!groups[j].empty(), "empty parity group");
+    Bit parity = groups[j][0];
+    for (std::size_t k = 1; k < groups[j].size(); ++k) {
+      parity = make_xor(b, parity, groups[j][k], nand_form);
+    }
+    syndrome[j] = make_xor(b, parity, r[j], nand_form);
+  }
+
+  // Correct: flip data bit i when the syndrome equals its position.
+  for (std::size_t i = 0; i < 32; ++i) {
+    const std::size_t pos = data_position(i);
+    std::vector<Bit> match_bits;
+    for (std::size_t j = 0; j < 6; ++j) {
+      match_bits.push_back(((pos >> j) & 1U) != 0
+                               ? syndrome[j]
+                               : b.not1(syndrome[j]));
+    }
+    const Bit flip = and_all(match_bits);
+    b.output(util::format("o_%zu", i), make_xor(b, d[i], flip, nand_form));
+  }
+  return b.take();
+}
+
+Netlist build_c880_alu8() {
+  NetlistBuilder b("c880_syn");
+  const Bus a = b.input_bus("a", 8);
+  const Bus bb = b.input_bus("b", 8);
+  const Bit cin = b.input("cin");
+  const Bit s0 = b.input("s0");
+  const Bit s1 = b.input("s1");
+
+  const auto add = b.ripple_add(a, bb, cin);
+  const Bus and_r = b.bitwise("and", a, bb);
+  const Bus or_r = b.bitwise("or", a, bb);
+  const Bus xor_r = b.bitwise("xor", a, bb);
+
+  // f = s1 ? (s0 ? xor : or) : (s0 ? and : sum)
+  const Bus inner1 = b.mux_bus(s0, xor_r, or_r);
+  const Bus inner0 = b.mux_bus(s0, and_r, add.sum);
+  const Bus f = b.mux_bus(s1, inner1, inner0);
+  b.output_bus("f", f);
+  b.output("cout", add.carry);
+  // Zero flag (NOR over outputs) — extra observable, like c880's flags.
+  Bus inv;
+  for (const Bit& x : f) inv.push_back(b.not1(x));
+  b.output("zf", b.and_tree(inv));
+  return b.take();
+}
+
+Netlist build_c1908_secded16() {
+  NetlistBuilder b("c1908_syn");
+  const Bus d = b.input_bus("d", 16);
+  const Bus r = b.input_bus("r", 5);
+  const Bit rp = b.input("rp");  // received overall parity
+
+  std::vector<std::vector<Bit>> groups(5);
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t pos = data_position(i);
+    for (std::size_t j = 0; j < 5; ++j) {
+      if ((pos >> j) & 1U) groups[j].push_back(d[i]);
+    }
+  }
+  Bus syndrome(5);
+  for (std::size_t j = 0; j < 5; ++j) {
+    Bit parity = groups[j][0];
+    for (std::size_t k = 1; k < groups[j].size(); ++k) {
+      parity = b.xor2(parity, groups[j][k]);
+    }
+    syndrome[j] = b.xor2(parity, r[j]);
+  }
+  // Overall parity across data + check bits vs received parity.
+  std::vector<Bit> all_bits(d.begin(), d.end());
+  all_bits.insert(all_bits.end(), r.begin(), r.end());
+  const Bit overall = b.xor2(b.xor_tree(all_bits), rp);
+
+  const Bit syndrome_nonzero = b.or_tree(
+      {syndrome[0], syndrome[1], syndrome[2], syndrome[3], syndrome[4]});
+  // single error: overall parity trips; double error: syndrome != 0 but
+  // overall parity holds.
+  const Bit single_err = b.and2(syndrome_nonzero, overall);
+  const Bit double_err = b.and2(syndrome_nonzero, b.not1(overall));
+  b.output("single_err", single_err);
+  b.output("double_err", double_err);
+
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::size_t pos = data_position(i);
+    std::vector<Bit> match_bits;
+    for (std::size_t j = 0; j < 5; ++j) {
+      match_bits.push_back(((pos >> j) & 1U) != 0 ? syndrome[j]
+                                                  : b.not1(syndrome[j]));
+    }
+    match_bits.push_back(single_err);  // only correct single errors
+    const Bit flip = b.and_tree(match_bits);
+    b.output(util::format("o_%zu", i), b.xor2(d[i], flip));
+  }
+  return b.take();
+}
+
+Netlist build_c6288_mult16() {
+  NetlistBuilder b("c6288_syn");
+  const Bus a = b.input_bus("a", 16);
+  const Bus bb = b.input_bus("b", 16);
+  const Bus p = b.multiply(a, bb);
+  b.output_bus("p", p);
+  return b.take();
+}
+
+std::vector<IscasBenchmark> iscas_benchmarks() {
+  std::vector<IscasBenchmark> list;
+  list.push_back({"c432", "27-channel interrupt controller",
+                  build_c432_interrupt_controller()});
+  list.push_back(
+      {"c499", "32-bit single error correcting", build_c499_sec32(false)});
+  list.push_back({"c880", "8-bit ALU", build_c880_alu8()});
+  list.push_back(
+      {"c1355", "32-bit single error correcting", build_c499_sec32(true)});
+  list.push_back({"c1908", "16-bit single/double error detecting",
+                  build_c1908_secded16()});
+  list.push_back({"c6288", "16 x 16 multiplier", build_c6288_mult16()});
+  return list;
+}
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,41 @@
+// Functional stand-ins for the ISCAS'85 benchmarks of Table III.
+//
+// The authors evaluate on the real ISCAS'85 netlists plus TrustHub
+// obfuscated instances; neither ships with this repository, so each
+// benchmark is regenerated from its documented function (the "Circuit
+// Function" column of Table III):
+//   c432  — 27-channel interrupt controller (3 priority buses × 9 lines)
+//   c499  — 32-bit single-error-correcting circuit (Hamming, XOR form)
+//   c880  — 8-bit ALU
+//   c1355 — 32-bit single-error-correcting circuit (NAND-expanded form,
+//           exactly how the real c1355 relates to c499)
+//   c1908 — 16-bit single/double-error detecting SEC/DED circuit
+//   c6288 — 16×16 array multiplier
+// Gate counts land in the same order of magnitude as the originals, so
+// DFG sizes, timing, and obfuscation behavior exercise the same code
+// paths.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/netlist.h"
+
+namespace gnn4ip::data {
+
+struct IscasBenchmark {
+  std::string name;      // "c432", ...
+  std::string function;  // human-readable description (Table III column)
+  Netlist netlist;
+};
+
+[[nodiscard]] Netlist build_c432_interrupt_controller();
+[[nodiscard]] Netlist build_c499_sec32(bool nand_form);  // false=c499, true=c1355
+[[nodiscard]] Netlist build_c880_alu8();
+[[nodiscard]] Netlist build_c1908_secded16();
+[[nodiscard]] Netlist build_c6288_mult16();
+
+/// All six stand-ins, in Table III order.
+[[nodiscard]] std::vector<IscasBenchmark> iscas_benchmarks();
+
+}  // namespace gnn4ip::data

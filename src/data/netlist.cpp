@@ -1,0 +1,321 @@
+#include "data/netlist.h"
+
+#include <sstream>
+
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+std::string Netlist::to_verilog() const {
+  std::ostringstream os;
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (const std::string& in : inputs) {
+    if (!first) os << ", ";
+    os << in;
+    first = false;
+  }
+  for (const std::string& out : outputs) {
+    if (!first) os << ", ";
+    os << out;
+    first = false;
+  }
+  os << ");\n";
+  for (const std::string& in : inputs) os << "  input " << in << ";\n";
+  for (const std::string& out : outputs) os << "  output " << out << ";\n";
+  // Internal wires: every gate output that is not a port.
+  for (const Gate& g : gates) {
+    bool is_port = false;
+    for (const std::string& out : outputs) {
+      if (g.output == out) {
+        is_port = true;
+        break;
+      }
+    }
+    if (!is_port) os << "  wire " << g.output << ";\n";
+  }
+  for (const Gate& g : gates) {
+    os << "  " << g.type << " (" << g.output;
+    for (const std::string& in : g.inputs) os << ", " << in;
+    os << ");\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+namespace {
+
+bool eval_gate(const std::string& type, const std::vector<bool>& ins) {
+  GNN4IP_ENSURE(!ins.empty(), "gate with no input values");
+  if (type == "not") return !ins.front();
+  if (type == "buf") return ins.front();
+  bool acc = ins.front();
+  for (std::size_t i = 1; i < ins.size(); ++i) {
+    if (type == "and" || type == "nand") {
+      acc = acc && ins[i];
+    } else if (type == "or" || type == "nor") {
+      acc = acc || ins[i];
+    } else if (type == "xor" || type == "xnor") {
+      acc = acc != ins[i];
+    } else {
+      GNN4IP_ENSURE(false, "unknown gate type '" + type + "'");
+    }
+  }
+  if (type == "nand" || type == "nor" || type == "xnor") return !acc;
+  return acc;
+}
+
+}  // namespace
+
+std::map<std::string, bool> evaluate(const Netlist& netlist,
+                                     const std::map<std::string, bool>& inputs) {
+  std::map<std::string, bool> values = inputs;
+  for (const std::string& in : netlist.inputs) {
+    GNN4IP_ENSURE(values.count(in) > 0, "missing input value for " + in);
+  }
+  // Fixpoint evaluation: gate order is arbitrary after obfuscation, so
+  // sweep until no gate fires (≤ #gates sweeps for acyclic netlists).
+  std::vector<bool> done(netlist.gates.size(), false);
+  std::size_t remaining = netlist.gates.size();
+  for (std::size_t pass = 0; pass <= netlist.gates.size() && remaining > 0;
+       ++pass) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < netlist.gates.size(); ++i) {
+      if (done[i]) continue;
+      const Gate& g = netlist.gates[i];
+      std::vector<bool> ins;
+      ins.reserve(g.inputs.size());
+      bool ready = true;
+      for (const std::string& in : g.inputs) {
+        const auto it = values.find(in);
+        if (it == values.end()) {
+          ready = false;
+          break;
+        }
+        ins.push_back(it->second);
+      }
+      if (!ready) continue;
+      values[g.output] = eval_gate(g.type, ins);
+      done[i] = true;
+      --remaining;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  GNN4IP_ENSURE(remaining == 0,
+                "netlist contains undriven nets or a combinational cycle");
+  return values;
+}
+
+void set_bus(std::map<std::string, bool>& values, const std::string& prefix,
+             std::size_t width, unsigned long long value) {
+  for (std::size_t i = 0; i < width; ++i) {
+    values[util::format("%s_%zu", prefix.c_str(), i)] =
+        ((value >> i) & 1ULL) != 0;
+  }
+}
+
+unsigned long long get_bus(const std::map<std::string, bool>& values,
+                           const std::string& prefix, std::size_t width) {
+  unsigned long long out = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto it = values.find(util::format("%s_%zu", prefix.c_str(), i));
+    GNN4IP_ENSURE(it != values.end(), "missing bus bit " + prefix);
+    if (it->second) out |= 1ULL << i;
+  }
+  return out;
+}
+
+NetlistBuilder::NetlistBuilder(std::string module_name) {
+  netlist_.module_name = std::move(module_name);
+}
+
+Bit NetlistBuilder::input(const std::string& name) {
+  netlist_.inputs.push_back(name);
+  return name;
+}
+
+Bus NetlistBuilder::input_bus(const std::string& name, std::size_t width) {
+  Bus bus;
+  bus.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.push_back(input(util::format("%s_%zu", name.c_str(), i)));
+  }
+  return bus;
+}
+
+void NetlistBuilder::output(const std::string& name, const Bit& src) {
+  GNN4IP_ENSURE(!src.empty(), "output driven by empty net");
+  netlist_.outputs.push_back(name);
+  netlist_.gates.push_back(Gate{"buf", name, {src}});
+}
+
+void NetlistBuilder::output_bus(const std::string& name, const Bus& src) {
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    output(util::format("%s_%zu", name.c_str(), i), src[i]);
+  }
+}
+
+Bit NetlistBuilder::fresh() {
+  return util::format("n%zu", next_wire_++);
+}
+
+Bit NetlistBuilder::gate(const std::string& type,
+                         const std::vector<Bit>& inputs) {
+  GNN4IP_ENSURE(!inputs.empty(), "gate without inputs");
+  for (const Bit& in : inputs) {
+    GNN4IP_ENSURE(!in.empty(), "gate input is an empty net");
+  }
+  Bit out = fresh();
+  netlist_.gates.push_back(Gate{type, out, inputs});
+  return out;
+}
+
+namespace {
+
+Bit reduce_tree(NetlistBuilder& b, const std::string& type,
+                std::vector<Bit> xs) {
+  GNN4IP_ENSURE(!xs.empty(), "reduction over empty set");
+  while (xs.size() > 1) {
+    std::vector<Bit> next;
+    next.reserve((xs.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      next.push_back(b.gate(type, {xs[i], xs[i + 1]}));
+    }
+    if (xs.size() % 2 == 1) next.push_back(xs.back());
+    xs = std::move(next);
+  }
+  return xs.front();
+}
+
+}  // namespace
+
+Bit NetlistBuilder::and_tree(const std::vector<Bit>& xs) {
+  return reduce_tree(*this, "and", xs);
+}
+
+Bit NetlistBuilder::or_tree(const std::vector<Bit>& xs) {
+  return reduce_tree(*this, "or", xs);
+}
+
+Bit NetlistBuilder::xor_tree(const std::vector<Bit>& xs) {
+  return reduce_tree(*this, "xor", xs);
+}
+
+Bit NetlistBuilder::mux2(const Bit& sel, const Bit& a, const Bit& b) {
+  const Bit nsel = not1(sel);
+  const Bit ta = and2(sel, a);
+  const Bit tb = and2(nsel, b);
+  return or2(ta, tb);
+}
+
+Bit NetlistBuilder::const_one() {
+  if (cached_one_.empty()) {
+    GNN4IP_ENSURE(!netlist_.inputs.empty(),
+                  "const_one needs at least one declared input");
+    const Bit x = netlist_.inputs.front();
+    cached_one_ = or2(x, not1(x));
+  }
+  return cached_one_;
+}
+
+Bit NetlistBuilder::const_zero() {
+  if (cached_zero_.empty()) {
+    GNN4IP_ENSURE(!netlist_.inputs.empty(),
+                  "const_zero needs at least one declared input");
+    const Bit x = netlist_.inputs.front();
+    cached_zero_ = and2(x, not1(x));
+  }
+  return cached_zero_;
+}
+
+NetlistBuilder::AddResult NetlistBuilder::ripple_add(const Bus& a,
+                                                     const Bus& b,
+                                                     const Bit& cin) {
+  GNN4IP_ENSURE(a.size() == b.size() && !a.empty(),
+                "ripple_add requires equal non-empty widths");
+  AddResult result;
+  result.sum.reserve(a.size());
+  Bit carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Bit axb = xor2(a[i], b[i]);
+    if (carry.empty()) {
+      // First stage without carry-in: half adder.
+      result.sum.push_back(buf1(axb));
+      carry = and2(a[i], b[i]);
+    } else {
+      result.sum.push_back(xor2(axb, carry));
+      const Bit t1 = and2(axb, carry);
+      const Bit t2 = and2(a[i], b[i]);
+      carry = or2(t1, t2);
+    }
+  }
+  result.carry = carry;
+  return result;
+}
+
+NetlistBuilder::AddResult NetlistBuilder::subtract(const Bus& a,
+                                                   const Bus& b) {
+  // a + ~b + 1.
+  const Bus nb = invert(b);
+  return ripple_add(a, nb, const_one());
+}
+
+Bus NetlistBuilder::bitwise(const std::string& type, const Bus& a,
+                            const Bus& b) {
+  GNN4IP_ENSURE(a.size() == b.size(), "bitwise width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(gate(type, {a[i], b[i]}));
+  }
+  return out;
+}
+
+Bus NetlistBuilder::invert(const Bus& a) {
+  Bus out;
+  out.reserve(a.size());
+  for (const Bit& x : a) out.push_back(not1(x));
+  return out;
+}
+
+Bus NetlistBuilder::mux_bus(const Bit& sel, const Bus& a, const Bus& b) {
+  GNN4IP_ENSURE(a.size() == b.size(), "mux_bus width mismatch");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(mux2(sel, a[i], b[i]));
+  }
+  return out;
+}
+
+Bit NetlistBuilder::equals(const Bus& a, const Bus& b) {
+  GNN4IP_ENSURE(a.size() == b.size() && !a.empty(), "equals width mismatch");
+  std::vector<Bit> eq_bits;
+  eq_bits.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    eq_bits.push_back(xnor2(a[i], b[i]));
+  }
+  return and_tree(eq_bits);
+}
+
+Bus NetlistBuilder::multiply(const Bus& a, const Bus& b) {
+  GNN4IP_ENSURE(!a.empty() && !b.empty(), "multiply on empty bus");
+  const std::size_t out_width = a.size() + b.size();
+  // Partial products: row j = (a AND b[j]) << j, accumulated by ripple
+  // adders — the classic array-multiplier structure of ISCAS c6288.
+  Bus acc(out_width);
+  const Bit zero = const_zero();
+  for (Bit& x : acc) x = zero;
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    Bus row(out_width, zero);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      row[i + j] = and2(a[i], b[j]);
+    }
+    acc = ripple_add(acc, row).sum;
+  }
+  return acc;
+}
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,132 @@
+// Bit-level gate netlist representation and builder.
+//
+// The paper's netlist corpus is Verilog built from primitive gates; this
+// module provides (a) a Netlist value type the obfuscator can transform,
+// and (b) a builder with combinational macros (adders, muxes, decoders,
+// comparators) used by the ISCAS'85 stand-ins and the structural family
+// generators. Emission produces flat gate-level Verilog consumable by
+// the same DFG pipeline as RTL.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gnn4ip::data {
+
+/// One primitive gate instance. `type` ∈ {and, or, xor, xnor, nand, nor,
+/// not, buf}; `inputs` size ≥ 1 (exactly 1 for not/buf).
+struct Gate {
+  std::string type;
+  std::string output;
+  std::vector<std::string> inputs;
+};
+
+/// Flat single-module gate-level netlist.
+struct Netlist {
+  std::string module_name;
+  std::vector<std::string> inputs;    // input port nets
+  std::vector<std::string> outputs;   // output port nets
+  std::vector<Gate> gates;
+
+  [[nodiscard]] std::string to_verilog() const;
+  [[nodiscard]] std::size_t num_gates() const { return gates.size(); }
+};
+
+/// Net name type aliases for readability in generator code.
+using Bit = std::string;
+using Bus = std::vector<Bit>;
+
+/// Evaluate a combinational netlist on concrete input values (fixpoint
+/// over the gate list, so gate order does not matter). Returns values for
+/// every net. Throws util::ContractViolation on missing inputs or
+/// combinational cycles — both indicate generator/obfuscator bugs.
+/// This is the oracle behind the obfuscation behavior-preservation tests.
+[[nodiscard]] std::map<std::string, bool> evaluate(
+    const Netlist& netlist, const std::map<std::string, bool>& inputs);
+
+/// Convenience: pack a bus value (LSB-first names `prefix_0`...) from an
+/// unsigned integer into an input map.
+void set_bus(std::map<std::string, bool>& values, const std::string& prefix,
+             std::size_t width, unsigned long long value);
+
+/// Read a bus value from an evaluation result.
+[[nodiscard]] unsigned long long get_bus(
+    const std::map<std::string, bool>& values, const std::string& prefix,
+    std::size_t width);
+
+/// Incremental netlist constructor with fresh-wire management.
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(std::string module_name);
+
+  Bit input(const std::string& name);
+  /// Declares inputs name_0 .. name_{width-1}, LSB first.
+  Bus input_bus(const std::string& name, std::size_t width);
+
+  /// Declare an output port driven by `src` (a buf gate bridges them).
+  void output(const std::string& name, const Bit& src);
+  /// Declare outputs name_0.. driven by `src` bits, LSB first.
+  void output_bus(const std::string& name, const Bus& src);
+
+  /// Fresh internal wire name.
+  Bit fresh();
+
+  /// Emit a gate; returns its output wire (freshly created).
+  Bit gate(const std::string& type, const std::vector<Bit>& inputs);
+
+  // Two-input conveniences.
+  Bit and2(const Bit& a, const Bit& b) { return gate("and", {a, b}); }
+  Bit or2(const Bit& a, const Bit& b) { return gate("or", {a, b}); }
+  Bit xor2(const Bit& a, const Bit& b) { return gate("xor", {a, b}); }
+  Bit xnor2(const Bit& a, const Bit& b) { return gate("xnor", {a, b}); }
+  Bit nand2(const Bit& a, const Bit& b) { return gate("nand", {a, b}); }
+  Bit nor2(const Bit& a, const Bit& b) { return gate("nor", {a, b}); }
+  Bit not1(const Bit& a) { return gate("not", {a}); }
+  Bit buf1(const Bit& a) { return gate("buf", {a}); }
+
+  /// Wide reductions (balanced trees).
+  Bit and_tree(const std::vector<Bit>& xs);
+  Bit or_tree(const std::vector<Bit>& xs);
+  Bit xor_tree(const std::vector<Bit>& xs);
+
+  /// 2:1 mux out = sel ? a : b.
+  Bit mux2(const Bit& sel, const Bit& a, const Bit& b);
+
+  /// Constant nets derived structurally from an input (x OR ~x, x AND ~x).
+  Bit const_one();
+  Bit const_zero();
+
+  // --- word-level macros (LSB-first buses) ---------------------------------
+  struct AddResult {
+    Bus sum;
+    Bit carry;
+  };
+  /// Ripple-carry adder; `cin` may be empty (treated as 0 structurally).
+  AddResult ripple_add(const Bus& a, const Bus& b, const Bit& cin = {});
+  /// a − b via two's complement (returns borrow-free sum bits).
+  AddResult subtract(const Bus& a, const Bus& b);
+  /// Bitwise ops over equal-width buses.
+  Bus bitwise(const std::string& type, const Bus& a, const Bus& b);
+  Bus invert(const Bus& a);
+  /// Word 2:1 mux.
+  Bus mux_bus(const Bit& sel, const Bus& a, const Bus& b);
+  /// Equality comparator (1 bit out).
+  Bit equals(const Bus& a, const Bus& b);
+  /// Unsigned array multiplier (partial products + ripple reduction).
+  Bus multiply(const Bus& a, const Bus& b);
+
+  [[nodiscard]] const Netlist& netlist() const { return netlist_; }
+  [[nodiscard]] Netlist take() { return std::move(netlist_); }
+
+ private:
+  Netlist netlist_;
+  std::size_t next_wire_ = 0;
+  Bit cached_one_;
+  Bit cached_zero_;
+};
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,218 @@
+#include "data/obfuscate.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+namespace {
+
+/// Collects port names (which must not be renamed or retyped).
+std::set<std::string> port_set(const Netlist& n) {
+  std::set<std::string> ports(n.inputs.begin(), n.inputs.end());
+  ports.insert(n.outputs.begin(), n.outputs.end());
+  return ports;
+}
+
+class Obfuscator {
+ public:
+  Obfuscator(Netlist netlist, util::Rng& rng)
+      : n_(std::move(netlist)), rng_(rng), ports_(port_set(n_)) {
+    // Find a safe starting index for fresh wires.
+    next_fresh_ = n_.gates.size() * 4 + 17;
+  }
+
+  Bit fresh() { return util::format("ob%zu", next_fresh_++); }
+
+  Bit const_one() {
+    if (one_.empty()) {
+      GNN4IP_ENSURE(!n_.inputs.empty(), "netlist without inputs");
+      const Bit x = n_.inputs.front();
+      const Bit nx = fresh();
+      n_.gates.push_back(Gate{"not", nx, {x}});
+      one_ = fresh();
+      n_.gates.push_back(Gate{"or", one_, {x, nx}});
+      // Splicing dummy logic *onto* the constant-generator nets would
+      // close a combinational loop (one -> and(one,...) -> one).
+      protected_nets_.insert(nx);
+      protected_nets_.insert(one_);
+    }
+    return one_;
+  }
+
+  Bit const_zero() {
+    if (zero_.empty()) {
+      GNN4IP_ENSURE(!n_.inputs.empty(), "netlist without inputs");
+      const Bit x = n_.inputs.front();
+      const Bit nx = fresh();
+      n_.gates.push_back(Gate{"not", nx, {x}});
+      zero_ = fresh();
+      n_.gates.push_back(Gate{"and", zero_, {x, nx}});
+      protected_nets_.insert(nx);
+      protected_nets_.insert(zero_);
+    }
+    return zero_;
+  }
+
+  /// Insert NOT-NOT (or buf) on randomly chosen gate inputs.
+  void insert_pairs(double inverter_rate, double buffer_rate) {
+    std::vector<Gate> added;
+    for (Gate& g : n_.gates) {
+      for (Bit& in : g.inputs) {
+        const double roll = rng_.next_double();
+        if (roll < inverter_rate) {
+          const Bit m1 = fresh();
+          const Bit m2 = fresh();
+          added.push_back(Gate{"not", m1, {in}});
+          added.push_back(Gate{"not", m2, {m1}});
+          in = m2;
+        } else if (roll < inverter_rate + buffer_rate) {
+          const Bit m = fresh();
+          added.push_back(Gate{"buf", m, {in}});
+          in = m;
+        }
+      }
+    }
+    n_.gates.insert(n_.gates.end(), std::make_move_iterator(added.begin()),
+                    std::make_move_iterator(added.end()));
+  }
+
+  /// Rewrite a fraction of gates into an equivalent different basis.
+  void decompose(double rate) {
+    std::vector<Gate> rebuilt;
+    rebuilt.reserve(n_.gates.size());
+    for (const Gate& g : n_.gates) {
+      if (g.inputs.size() != 2 || !rng_.flip(rate)) {
+        rebuilt.push_back(g);
+        continue;
+      }
+      const Bit& a = g.inputs[0];
+      const Bit& b = g.inputs[1];
+      if (g.type == "and") {
+        const Bit t = fresh();
+        rebuilt.push_back(Gate{"nand", t, {a, b}});
+        rebuilt.push_back(Gate{"not", g.output, {t}});
+      } else if (g.type == "or") {
+        const Bit t = fresh();
+        rebuilt.push_back(Gate{"nor", t, {a, b}});
+        rebuilt.push_back(Gate{"not", g.output, {t}});
+      } else if (g.type == "xor") {
+        const Bit t = fresh();
+        const Bit u = fresh();
+        const Bit v = fresh();
+        rebuilt.push_back(Gate{"nand", t, {a, b}});
+        rebuilt.push_back(Gate{"nand", u, {a, t}});
+        rebuilt.push_back(Gate{"nand", v, {b, t}});
+        rebuilt.push_back(Gate{"nand", g.output, {u, v}});
+      } else if (g.type == "xnor") {
+        const Bit t = fresh();
+        const Bit u = fresh();
+        const Bit v = fresh();
+        const Bit w = fresh();
+        rebuilt.push_back(Gate{"nand", t, {a, b}});
+        rebuilt.push_back(Gate{"nand", u, {a, t}});
+        rebuilt.push_back(Gate{"nand", v, {b, t}});
+        rebuilt.push_back(Gate{"nand", w, {u, v}});
+        rebuilt.push_back(Gate{"not", g.output, {w}});
+      } else if (g.type == "nand") {
+        const Bit t = fresh();
+        rebuilt.push_back(Gate{"and", t, {a, b}});
+        rebuilt.push_back(Gate{"not", g.output, {t}});
+      } else if (g.type == "nor") {
+        const Bit t = fresh();
+        rebuilt.push_back(Gate{"or", t, {a, b}});
+        rebuilt.push_back(Gate{"not", g.output, {t}});
+      } else {
+        rebuilt.push_back(g);
+      }
+    }
+    n_.gates = std::move(rebuilt);
+  }
+
+  /// Splice dummy logic: w' = AND(w, 1) or OR(w, 0) between a driver and
+  /// its consumers.
+  void add_dummy(int count) {
+    for (int k = 0; k < count; ++k) {
+      if (n_.gates.empty()) return;
+      // Pick a random gate output that is not a port output.
+      const std::size_t gi =
+          static_cast<std::size_t>(rng_.next_below(n_.gates.size()));
+      const Bit victim = n_.gates[gi].output;
+      if (ports_.count(victim) > 0 || protected_nets_.count(victim) > 0) {
+        continue;
+      }
+      const bool use_and = rng_.flip(0.5);
+      const Bit cnet = use_and ? const_one() : const_zero();
+      const Bit replacement = fresh();
+      // Rewire consumers of `victim` to `replacement`.
+      for (Gate& g : n_.gates) {
+        for (Bit& in : g.inputs) {
+          if (in == victim) in = replacement;
+        }
+      }
+      n_.gates.push_back(Gate{use_and ? "and" : "or", replacement,
+                              {victim, cnet}});
+    }
+  }
+
+  void rename_wires() {
+    std::map<std::string, std::string> remap;
+    for (const Gate& g : n_.gates) {
+      if (ports_.count(g.output) == 0 && remap.count(g.output) == 0) {
+        remap[g.output] = util::format("w%zu", remap.size());
+      }
+    }
+    for (Gate& g : n_.gates) {
+      const auto out_it = remap.find(g.output);
+      if (out_it != remap.end()) g.output = out_it->second;
+      for (Bit& in : g.inputs) {
+        const auto in_it = remap.find(in);
+        if (in_it != remap.end()) in = in_it->second;
+      }
+    }
+  }
+
+  void shuffle_gates() { rng_.shuffle(n_.gates); }
+
+  Netlist take() { return std::move(n_); }
+
+ private:
+  Netlist n_;
+  util::Rng& rng_;
+  std::set<std::string> ports_;
+  std::set<std::string> protected_nets_;
+  std::size_t next_fresh_ = 0;
+  Bit one_;
+  Bit zero_;
+};
+
+}  // namespace
+
+Netlist obfuscate(const Netlist& input, const ObfuscationConfig& config,
+                  util::Rng& rng) {
+  Obfuscator ob(input, rng);
+  if (config.decompose_rate > 0.0) ob.decompose(config.decompose_rate);
+  if (config.inverter_pair_rate > 0.0 || config.buffer_rate > 0.0) {
+    ob.insert_pairs(config.inverter_pair_rate, config.buffer_rate);
+  }
+  if (config.dummy_gates > 0) ob.add_dummy(config.dummy_gates);
+  if (config.rename_wires) ob.rename_wires();
+  if (config.shuffle_gates) ob.shuffle_gates();
+  return ob.take();
+}
+
+Netlist restructure(const Netlist& input, util::Rng& rng) {
+  ObfuscationConfig mild;
+  mild.inverter_pair_rate = 0.0;
+  mild.buffer_rate = 0.02;
+  mild.decompose_rate = 0.25;
+  mild.dummy_gates = 0;
+  mild.rename_wires = true;
+  mild.shuffle_gates = true;
+  return obfuscate(input, mild, rng);
+}
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,43 @@
+// Behavior-preserving netlist transformations.
+//
+// Two use cases, mirroring the paper:
+//  * restructure() — mild transforms (renaming, gate decomposition,
+//    reordering) that model the same design passing through a different
+//    synthesis run; used to create instances for the netlist corpus.
+//  * obfuscate() — the TrustHub-style obfuscations of Table III:
+//    inverter-pair and buffer-chain insertion, dummy logic driven by
+//    structurally derived constants, gate decomposition, and full wire
+//    renaming. Functionality is preserved by construction.
+#pragma once
+
+#include "data/netlist.h"
+#include "util/rng.h"
+
+namespace gnn4ip::data {
+
+struct ObfuscationConfig {
+  /// Fraction of gate input connections receiving an inverter pair.
+  double inverter_pair_rate = 0.05;
+  /// Fraction of gate input connections receiving a buffer.
+  double buffer_rate = 0.05;
+  /// Fraction of gates rewritten into a different gate basis
+  /// (and→nand+not, or→nor+not, xor→nand form, ...).
+  double decompose_rate = 0.2;
+  /// Number of dummy gates spliced onto random wires (AND with constant
+  /// one / OR with constant zero).
+  int dummy_gates = 8;
+  /// Rename every internal wire.
+  bool rename_wires = true;
+  /// Shuffle gate emission order.
+  bool shuffle_gates = true;
+};
+
+/// Apply `config` to a copy of `input`.
+[[nodiscard]] Netlist obfuscate(const Netlist& input,
+                                const ObfuscationConfig& config,
+                                util::Rng& rng);
+
+/// Mild restructuring preset (same-design synthesis variant).
+[[nodiscard]] Netlist restructure(const Netlist& input, util::Rng& rng);
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,1140 @@
+// Generators for the combinational, sequential, coding, and
+// communication RTL families (processor families live in
+// rtl_processors.cpp). Every generator must stay inside the Verilog
+// subset of src/verilog (no for loops, no memories, no functions).
+#include "data/rtl_designs.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+using util::format;
+
+namespace {
+
+/// ANSI vs non-ANSI module header for extra lexical diversity.
+std::string module_header(VariantHelper& h, const std::string& mod_name,
+                          const std::vector<std::string>& ansi_ports,
+                          const std::vector<std::string>& plain_names,
+                          const std::vector<std::string>& body_decls) {
+  std::ostringstream os;
+  if (h.flip()) {
+    os << "module " << mod_name << " (\n  " << util::join(ansi_ports, ",\n  ")
+       << "\n);\n";
+  } else {
+    os << "module " << mod_name << " (" << util::join(plain_names, ", ")
+       << ");\n";
+    for (const std::string& d : body_decls) os << "  " << d << ";\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// adder — the paper's Fig. 1 motivational design (3 styles).
+// ---------------------------------------------------------------------------
+std::string gen_adder(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string a = h.name({"A", "Num1", "opa", "x_in"});
+  const std::string b = h.name({"B", "Num2", "opb", "y_in"});
+  const std::string cin = h.name({"Cin", "carry_in", "ci"});
+  const std::string sum = h.name({"Sum", "total", "s_out"});
+  const std::string cout = h.name({"Cout", "carry_out", "co"});
+  const std::string mod = h.name({"adder", "full_adder4", "add4"});
+  std::ostringstream os;
+  const int style = v.style % 3;
+  if (style == 0) {
+    // Behavioral, always block (paper "Adder1").
+    os << module_header(
+        h, mod,
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output reg [3:0] %s", sum.c_str()),
+         format("output reg %s", cout.c_str())},
+        {a, b, cin, sum, cout},
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output reg [3:0] %s", sum.c_str()),
+         format("output reg %s", cout.c_str())});
+    const auto [x, y] = h.commute(a, b);
+    os << format("  always @(%s, %s, %s) begin\n", a.c_str(), b.c_str(),
+                 cin.c_str());
+    os << format("    {%s, %s} = %s + %s + {3'b000, %s};\n", cout.c_str(),
+                 sum.c_str(), x.c_str(), y.c_str(), cin.c_str());
+    os << "  end\n";
+  } else if (style == 1) {
+    // Dataflow: explicit carry chain with assigns.
+    os << module_header(
+        h, mod,
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output [3:0] %s", sum.c_str()),
+         format("output %s", cout.c_str())},
+        {a, b, cin, sum, cout},
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output [3:0] %s", sum.c_str()),
+         format("output %s", cout.c_str())});
+    os << "  wire c0, c1, c2;\n";
+    std::vector<std::string> stmts;
+    const char* carries[5] = {cin.c_str(), "c0", "c1", "c2", cout.c_str()};
+    for (int i = 0; i < 4; ++i) {
+      stmts.push_back(format("  assign %s[%d] = (%s[%d] ^ %s[%d]) ^ %s;",
+                             sum.c_str(), i, a.c_str(), i, b.c_str(), i,
+                             carries[i]));
+      stmts.push_back(format(
+          "  assign %s = (%s[%d] & %s[%d]) | ((%s[%d] ^ %s[%d]) & %s);",
+          carries[i + 1], a.c_str(), i, b.c_str(), i, a.c_str(), i, b.c_str(),
+          i, carries[i]));
+    }
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+  } else {
+    // Gate primitives (paper "Adder2").
+    os << module_header(
+        h, mod,
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output [3:0] %s", sum.c_str()),
+         format("output %s", cout.c_str())},
+        {a, b, cin, sum, cout},
+        {format("input [3:0] %s", a.c_str()),
+         format("input [3:0] %s", b.c_str()), format("input %s", cin.c_str()),
+         format("output [3:0] %s", sum.c_str()),
+         format("output %s", cout.c_str())});
+    os << "  wire c0, c1, c2;\n";
+    std::vector<std::string> stmts;
+    const char* carries[5] = {cin.c_str(), "c0", "c1", "c2", cout.c_str()};
+    for (int i = 0; i < 4; ++i) {
+      os << format("  wire t%d, g%d, p%d;\n", i, i, i);
+      stmts.push_back(format("  xor (t%d, %s[%d], %s[%d]);", i, a.c_str(), i,
+                             b.c_str(), i));
+      stmts.push_back(format("  xor (%s[%d], t%d, %s);", sum.c_str(), i, i,
+                             carries[i]));
+      stmts.push_back(format("  and (g%d, %s[%d], %s[%d]);", i, a.c_str(), i,
+                             b.c_str(), i));
+      stmts.push_back(format("  and (p%d, t%d, %s);", i, i, carries[i]));
+      stmts.push_back(format("  or (%s, g%d, p%d);", carries[i + 1], i, i));
+    }
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// alu — 8-bit, 3-bit opcode (2 styles). Shared with the MIPS families via
+// gen_alu_core_module (rtl_processors.cpp re-uses the same structure).
+// ---------------------------------------------------------------------------
+std::string gen_alu(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string a = h.name({"a", "op1", "lhs", "src_a"});
+  const std::string b = h.name({"b", "op2", "rhs", "src_b"});
+  const std::string op = h.name({"op", "ctrl", "sel", "opcode"});
+  const std::string y = h.name({"y", "result", "alu_out", "res"});
+  const std::string zero = h.name({"zero", "z_flag", "is_zero"});
+  const std::string mod = h.name({"alu8", "alu_unit", "arith_logic"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input [7:0] %s", a.c_str()),
+       format("input [7:0] %s", b.c_str()),
+       format("input [2:0] %s", op.c_str()),
+       format("output reg [7:0] %s", y.c_str()),
+       format("output %s", zero.c_str())},
+      {a, b, op, y, zero},
+      {format("input [7:0] %s", a.c_str()),
+       format("input [7:0] %s", b.c_str()),
+       format("input [2:0] %s", op.c_str()),
+       format("output reg [7:0] %s", y.c_str()),
+       format("output %s", zero.c_str())});
+  if (v.style % 2 == 0) {
+    os << format("  always @(*) begin\n    case (%s)\n", op.c_str());
+    std::vector<std::string> arms = {
+        format("      3'b000: %s = %s + %s;", y.c_str(), a.c_str(), b.c_str()),
+        format("      3'b001: %s = %s - %s;", y.c_str(), a.c_str(), b.c_str()),
+        format("      3'b010: %s = %s & %s;", y.c_str(), a.c_str(), b.c_str()),
+        format("      3'b011: %s = %s | %s;", y.c_str(), a.c_str(), b.c_str()),
+        format("      3'b100: %s = %s ^ %s;", y.c_str(), a.c_str(), b.c_str()),
+        format("      3'b101: %s = {7'b0000000, %s < %s};", y.c_str(),
+               a.c_str(), b.c_str()),
+        format("      3'b110: %s = %s << 1;", y.c_str(), a.c_str()),
+    };
+    h.shuffle_statements(arms);
+    os << lines(arms);
+    os << format("      default: %s = %s >> 1;\n", y.c_str(), a.c_str());
+    os << "    endcase\n  end\n";
+  } else {
+    os << format("  wire [7:0] add_r, sub_r, and_r, or_r, xor_r;\n");
+    std::vector<std::string> stmts = {
+        format("  assign add_r = %s + %s;", a.c_str(), b.c_str()),
+        format("  assign sub_r = %s - %s;", a.c_str(), b.c_str()),
+        format("  assign and_r = %s & %s;", a.c_str(), b.c_str()),
+        format("  assign or_r = %s | %s;", a.c_str(), b.c_str()),
+        format("  assign xor_r = %s ^ %s;", a.c_str(), b.c_str()),
+    };
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+    os << format(
+        "  always @(*) begin\n"
+        "    %s = (%s == 3'b000) ? add_r :\n"
+        "         (%s == 3'b001) ? sub_r :\n"
+        "         (%s == 3'b010) ? and_r :\n"
+        "         (%s == 3'b011) ? or_r :\n"
+        "         (%s == 3'b100) ? xor_r :\n"
+        "         (%s == 3'b101) ? {7'b0000000, %s < %s} :\n"
+        "         (%s == 3'b110) ? (%s << 1) : (%s >> 1);\n"
+        "  end\n",
+        y.c_str(), op.c_str(), op.c_str(), op.c_str(), op.c_str(), op.c_str(),
+        op.c_str(), a.c_str(), b.c_str(), op.c_str(), a.c_str(), a.c_str());
+  }
+  os << format("  assign %s = (%s == 8'b00000000);\n", zero.c_str(),
+               y.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// counter — 8-bit up/down with enable and load (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_counter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset", "rst_n"});
+  const std::string en = h.name({"en", "enable", "ce"});
+  const std::string dir = h.name({"up", "dir", "count_up"});
+  const std::string load = h.name({"load", "ld"});
+  const std::string din = h.name({"d", "load_val", "init"});
+  const std::string q = h.name({"q", "count", "value", "cnt"});
+  const std::string mod = h.name({"counter8", "updown_counter", "cnt_unit"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", en.c_str()), format("input %s", dir.c_str()),
+       format("input %s", load.c_str()),
+       format("input [7:0] %s", din.c_str()),
+       format("output reg [7:0] %s", q.c_str())},
+      {clk, rst, en, dir, load, din, q},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", en.c_str()), format("input %s", dir.c_str()),
+       format("input %s", load.c_str()),
+       format("input [7:0] %s", din.c_str()),
+       format("output reg [7:0] %s", q.c_str())});
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else if (%s) %s <= %s;\n"
+        "    else if (%s) begin\n"
+        "      if (%s) %s <= %s + 8'h01;\n"
+        "      else %s <= %s - 8'h01;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), q.c_str(), load.c_str(), q.c_str(),
+        din.c_str(), en.c_str(), dir.c_str(), q.c_str(), q.c_str(), q.c_str(),
+        q.c_str());
+  } else {
+    os << format("  wire [7:0] next_val;\n");
+    os << format(
+        "  assign next_val = %s ? %s : (%s ? (%s ? %s + 8'h01 : %s - 8'h01) "
+        ": %s);\n",
+        load.c_str(), din.c_str(), en.c_str(), dir.c_str(), q.c_str(),
+        q.c_str(), q.c_str());
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else %s <= next_val;\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), q.c_str(), q.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// gray_counter — binary register + gray output (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_gray_counter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string gray = h.name({"gray", "gray_out", "gout"});
+  const std::string mod = h.name({"gray_counter", "gray_gen", "gcnt"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output [7:0] %s", gray.c_str())},
+      {clk, rst, gray},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output [7:0] %s", gray.c_str())});
+  os << "  reg [7:0] bin;\n";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) bin <= 8'h00;\n"
+      "    else bin <= bin + 8'h01;\n"
+      "  end\n",
+      clk.c_str(), rst.c_str());
+  if (v.style % 2 == 0) {
+    os << format("  assign %s = bin ^ (bin >> 1);\n", gray.c_str());
+  } else {
+    std::vector<std::string> stmts;
+    stmts.push_back(format("  assign %s[7] = bin[7];", gray.c_str()));
+    for (int i = 0; i < 7; ++i) {
+      stmts.push_back(format("  assign %s[%d] = bin[%d] ^ bin[%d];",
+                             gray.c_str(), i, i + 1, i));
+    }
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// lfsr — 8-bit Fibonacci LFSR, taps x^8+x^6+x^5+x^4+1 (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_lfsr(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string out = h.name({"r", "lfsr_out", "prbs", "state"});
+  const std::string mod = h.name({"lfsr8", "prbs_gen", "rand_gen"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output reg [7:0] %s", out.c_str())},
+      {clk, rst, out},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output reg [7:0] %s", out.c_str())});
+  os << "  wire fb;\n";
+  if (v.style % 2 == 0) {
+    os << format("  assign fb = %s[7] ^ %s[5] ^ %s[4] ^ %s[3];\n",
+                 out.c_str(), out.c_str(), out.c_str(), out.c_str());
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h01;\n"
+        "    else %s <= {%s[6:0], fb};\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), out.c_str(), out.c_str(), out.c_str());
+  } else {
+    os << format("  wire t1, t2;\n");
+    os << format("  assign t1 = %s[7] ^ %s[5];\n", out.c_str(), out.c_str());
+    os << format("  assign t2 = %s[4] ^ %s[3];\n", out.c_str(), out.c_str());
+    os << "  assign fb = t1 ^ t2;\n";
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h01;\n"
+        "    else begin\n"
+        "      %s <= %s << 1;\n"
+        "      %s[0] <= fb;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), out.c_str(), out.c_str(), out.c_str(),
+        out.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// crc8 — parallel CRC-8 (poly 0x07) over an 8-bit word (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_crc8(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string d = h.name({"d", "data", "din"});
+  const std::string c = h.name({"c", "crc_in", "state"});
+  const std::string n = h.name({"n", "crc_out", "next_crc"});
+  const std::string mod = h.name({"crc8", "crc_unit", "checksum8"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input [7:0] %s", d.c_str()),
+       format("input [7:0] %s", c.c_str()),
+       format("output [7:0] %s", n.c_str())},
+      {d, c, n},
+      {format("input [7:0] %s", d.c_str()),
+       format("input [7:0] %s", c.c_str()),
+       format("output [7:0] %s", n.c_str())});
+  // x = d ^ c, then each output bit is a fixed XOR combination (CRC-8/ATM).
+  os << format("  wire [7:0] x;\n  assign x = %s ^ %s;\n", d.c_str(),
+               c.c_str());
+  std::vector<std::string> stmts;
+  if (v.style % 2 == 0) {
+    stmts = {
+        format("  assign %s[0] = x[0] ^ x[6] ^ x[7];", n.c_str()),
+        format("  assign %s[1] = x[0] ^ x[1] ^ x[6];", n.c_str()),
+        format("  assign %s[2] = x[0] ^ x[1] ^ x[2] ^ x[6];", n.c_str()),
+        format("  assign %s[3] = x[1] ^ x[2] ^ x[3] ^ x[7];", n.c_str()),
+        format("  assign %s[4] = x[2] ^ x[3] ^ x[4];", n.c_str()),
+        format("  assign %s[5] = x[3] ^ x[4] ^ x[5];", n.c_str()),
+        format("  assign %s[6] = x[4] ^ x[5] ^ x[6];", n.c_str()),
+        format("  assign %s[7] = x[5] ^ x[6] ^ x[7];", n.c_str()),
+    };
+  } else {
+    os << "  wire p67, p06, p12, p23, p34, p45, p56;\n";
+    stmts = {
+        format("  assign p67 = x[6] ^ x[7];"),
+        format("  assign p06 = x[0] ^ x[6];"),
+        format("  assign p12 = x[1] ^ x[2];"),
+        format("  assign p23 = x[2] ^ x[3];"),
+        format("  assign p34 = x[3] ^ x[4];"),
+        format("  assign p45 = x[4] ^ x[5];"),
+        format("  assign p56 = x[5] ^ x[6];"),
+        format("  assign %s[0] = x[0] ^ p67;", n.c_str()),
+        format("  assign %s[1] = p06 ^ x[1];", n.c_str()),
+        format("  assign %s[2] = p06 ^ p12;", n.c_str()),
+        format("  assign %s[3] = p12 ^ x[3] ^ x[7];", n.c_str()),
+        format("  assign %s[4] = p23 ^ x[4];", n.c_str()),
+        format("  assign %s[5] = p34 ^ x[5];", n.c_str()),
+        format("  assign %s[6] = p45 ^ x[6];", n.c_str()),
+        format("  assign %s[7] = p56 ^ x[7];", n.c_str()),
+    };
+  }
+  h.shuffle_statements(stmts);
+  os << lines(stmts);
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// parity — 16-bit even/odd parity (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_parity(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string din = h.name({"data", "word", "in_bits"});
+  const std::string even = h.name({"even", "p_even", "parity"});
+  const std::string odd = h.name({"odd", "p_odd"});
+  const std::string mod = h.name({"parity16", "parity_gen", "par_unit"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input [15:0] %s", din.c_str()),
+       format("output %s", even.c_str()), format("output %s", odd.c_str())},
+      {din, even, odd},
+      {format("input [15:0] %s", din.c_str()),
+       format("output %s", even.c_str()), format("output %s", odd.c_str())});
+  // Both styles also emit per-byte parities and an all-ones detector so
+  // the family's DFG is rich enough to learn from; the styles differ in
+  // how the reductions are structured.
+  os << "  wire lo_par, hi_par;\n";
+  if (v.style % 2 == 0) {
+    os << format("  assign lo_par = ^%s[7:0];\n", din.c_str());
+    os << format("  assign hi_par = ^%s[15:8];\n", din.c_str());
+    os << format("  assign %s = lo_par ^ hi_par;\n", even.c_str());
+    os << format("  wire all_set;\n  assign all_set = &%s;\n", din.c_str());
+  } else {
+    os << "  wire n0, n1, n2, n3;\n";
+    std::vector<std::string> stmts = {
+        format("  assign n0 = %s[0] ^ %s[1] ^ %s[2] ^ %s[3];", din.c_str(),
+               din.c_str(), din.c_str(), din.c_str()),
+        format("  assign n1 = %s[4] ^ %s[5] ^ %s[6] ^ %s[7];", din.c_str(),
+               din.c_str(), din.c_str(), din.c_str()),
+        format("  assign n2 = %s[8] ^ %s[9] ^ %s[10] ^ %s[11];", din.c_str(),
+               din.c_str(), din.c_str(), din.c_str()),
+        format("  assign n3 = %s[12] ^ %s[13] ^ %s[14] ^ %s[15];",
+               din.c_str(), din.c_str(), din.c_str(), din.c_str()),
+    };
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+    os << "  assign lo_par = n0 ^ n1;\n";
+    os << "  assign hi_par = n2 ^ n3;\n";
+    os << format("  assign %s = lo_par ^ hi_par;\n", even.c_str());
+    os << format(
+        "  wire all_set;\n"
+        "  assign all_set = (%s[7:0] == 8'hFF) & (%s[15:8] == 8'hFF);\n",
+        din.c_str(), din.c_str());
+  }
+  os << format("  assign %s = ~%s | (all_set & 1'b0);\n", odd.c_str(),
+               even.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// shift_reg — 8-bit SIPO with enable (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_shift_reg(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string en = h.name({"en", "shift_en", "ce"});
+  const std::string sin = h.name({"sin", "serial_in", "d_in"});
+  const std::string q = h.name({"q", "par_out", "taps"});
+  const std::string mod = h.name({"shift_reg8", "sipo8", "shifter"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", en.c_str()), format("input %s", sin.c_str()),
+       format("output reg [7:0] %s", q.c_str())},
+      {clk, rst, en, sin, q},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", en.c_str()), format("input %s", sin.c_str()),
+       format("output reg [7:0] %s", q.c_str())});
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else if (%s) %s <= {%s[6:0], %s};\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), q.c_str(), en.c_str(), q.c_str(),
+        q.c_str(), sin.c_str());
+  } else {
+    os << format(
+        "  wire [7:0] shifted;\n"
+        "  assign shifted = (%s << 1) | {7'b0000000, %s};\n"
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else begin\n"
+        "      if (%s) %s <= shifted;\n"
+        "      else %s <= %s;\n"
+        "    end\n"
+        "  end\n",
+        q.c_str(), sin.c_str(), clk.c_str(), rst.c_str(), q.c_str(),
+        en.c_str(), q.c_str(), q.c_str(), q.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// fifo_ctrl — pointer/count control logic for a depth-16 FIFO (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_fifo_ctrl(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string wr = h.name({"wr", "push", "wr_en"});
+  const std::string rd = h.name({"rd", "pop", "rd_en"});
+  const std::string full = h.name({"full", "fifo_full"});
+  const std::string empty = h.name({"empty", "fifo_empty"});
+  const std::string wptr = h.name({"wptr", "wr_ptr", "head"});
+  const std::string rptr = h.name({"rptr", "rd_ptr", "tail"});
+  const std::string mod = h.name({"fifo_ctrl16", "fifo_control", "queue_ctl"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", wr.c_str()), format("input %s", rd.c_str()),
+       format("output %s", full.c_str()), format("output %s", empty.c_str()),
+       format("output reg [3:0] %s", wptr.c_str()),
+       format("output reg [3:0] %s", rptr.c_str())},
+      {clk, rst, wr, rd, full, empty, wptr, rptr},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", wr.c_str()), format("input %s", rd.c_str()),
+       format("output %s", full.c_str()), format("output %s", empty.c_str()),
+       format("output reg [3:0] %s", wptr.c_str()),
+       format("output reg [3:0] %s", rptr.c_str())});
+  os << "  reg [4:0] count;\n";
+  os << "  wire do_wr, do_rd;\n";
+  os << format("  assign do_wr = %s & ~%s;\n", wr.c_str(), full.c_str());
+  os << format("  assign do_rd = %s & ~%s;\n", rd.c_str(), empty.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      %s <= 4'h0;\n      %s <= 4'h0;\n      count <= 5'h00;\n"
+        "    end else begin\n"
+        "      if (do_wr) %s <= %s + 4'h1;\n"
+        "      if (do_rd) %s <= %s + 4'h1;\n"
+        "      if (do_wr & ~do_rd) count <= count + 5'h01;\n"
+        "      else if (do_rd & ~do_wr) count <= count - 5'h01;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), wptr.c_str(), rptr.c_str(), wptr.c_str(),
+        wptr.c_str(), rptr.c_str(), rptr.c_str());
+  } else {
+    os << "  wire [4:0] count_next;\n";
+    os << format(
+        "  assign count_next = (do_wr & ~do_rd) ? count + 5'h01 :\n"
+        "                      ((do_rd & ~do_wr) ? count - 5'h01 : count);\n");
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      %s <= 4'h0;\n      %s <= 4'h0;\n      count <= 5'h00;\n"
+        "    end else begin\n"
+        "      %s <= do_wr ? %s + 4'h1 : %s;\n"
+        "      %s <= do_rd ? %s + 4'h1 : %s;\n"
+        "      count <= count_next;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), wptr.c_str(), rptr.c_str(), wptr.c_str(),
+        wptr.c_str(), wptr.c_str(), rptr.c_str(), rptr.c_str(),
+        rptr.c_str());
+  }
+  os << format("  assign %s = (count == 5'h10);\n", full.c_str());
+  os << format("  assign %s = (count == 5'h00);\n", empty.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// uart_tx — RS232 transmitter (2 styles: flat case vs split next-state).
+// ---------------------------------------------------------------------------
+std::string gen_uart_tx(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string start = h.name({"start", "send", "tx_go"});
+  const std::string din = h.name({"din", "tx_data", "byte_in"});
+  const std::string tx = h.name({"tx", "txd", "serial_out"});
+  const std::string busy = h.name({"busy", "tx_busy", "active"});
+  const std::string mod = h.name({"uart_tx", "rs232_tx", "serial_tx"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", start.c_str()),
+       format("input [7:0] %s", din.c_str()),
+       format("output reg %s", tx.c_str()),
+       format("output %s", busy.c_str())},
+      {clk, rst, start, din, tx, busy},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", start.c_str()),
+       format("input [7:0] %s", din.c_str()),
+       format("output reg %s", tx.c_str()),
+       format("output %s", busy.c_str())});
+  os << "  reg [1:0] state;\n  reg [2:0] bit_idx;\n  reg [7:0] shifter;\n"
+        "  reg [3:0] baud;\n  wire tick;\n";
+  os << "  assign tick = (baud == 4'hF);\n";
+  os << format("  assign %s = (state != 2'b00);\n", busy.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      state <= 2'b00;\n      %s <= 1'b1;\n      baud <= 4'h0;\n"
+        "      bit_idx <= 3'b000;\n      shifter <= 8'h00;\n"
+        "    end else begin\n"
+        "      baud <= baud + 4'h1;\n"
+        "      case (state)\n"
+        "        2'b00: begin\n"
+        "          %s <= 1'b1;\n"
+        "          if (%s) begin\n"
+        "            shifter <= %s;\n            state <= 2'b01;\n"
+        "            baud <= 4'h0;\n"
+        "          end\n"
+        "        end\n"
+        "        2'b01: begin\n"
+        "          %s <= 1'b0;\n"
+        "          if (tick) state <= 2'b10;\n"
+        "        end\n"
+        "        2'b10: begin\n"
+        "          %s <= shifter[0];\n"
+        "          if (tick) begin\n"
+        "            shifter <= shifter >> 1;\n"
+        "            bit_idx <= bit_idx + 3'b001;\n"
+        "            if (bit_idx == 3'b111) state <= 2'b11;\n"
+        "          end\n"
+        "        end\n"
+        "        default: begin\n"
+        "          %s <= 1'b1;\n"
+        "          if (tick) state <= 2'b00;\n"
+        "        end\n"
+        "      endcase\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), tx.c_str(), tx.c_str(), start.c_str(),
+        din.c_str(), tx.c_str(), tx.c_str(), tx.c_str());
+  } else {
+    os << "  reg [1:0] state_next;\n";
+    os << format(
+        "  always @(*) begin\n"
+        "    state_next = state;\n"
+        "    case (state)\n"
+        "      2'b00: if (%s) state_next = 2'b01;\n"
+        "      2'b01: if (tick) state_next = 2'b10;\n"
+        "      2'b10: if (tick & (bit_idx == 3'b111)) state_next = 2'b11;\n"
+        "      default: if (tick) state_next = 2'b00;\n"
+        "    endcase\n"
+        "  end\n",
+        start.c_str());
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      state <= 2'b00;\n      %s <= 1'b1;\n      baud <= 4'h0;\n"
+        "      bit_idx <= 3'b000;\n      shifter <= 8'h00;\n"
+        "    end else begin\n"
+        "      state <= state_next;\n"
+        "      baud <= (state == 2'b00) ? 4'h0 : baud + 4'h1;\n"
+        "      if ((state == 2'b00) & %s) shifter <= %s;\n"
+        "      else if ((state == 2'b10) & tick) begin\n"
+        "        shifter <= shifter >> 1;\n"
+        "        bit_idx <= bit_idx + 3'b001;\n"
+        "      end\n"
+        "      %s <= (state == 2'b01) ? 1'b0 :\n"
+        "            ((state == 2'b10) ? shifter[0] : 1'b1);\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), tx.c_str(), start.c_str(), din.c_str(),
+        tx.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// uart_rx — RS232 receiver (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_uart_rx(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string rx = h.name({"rx", "rxd", "serial_in"});
+  const std::string dout = h.name({"dout", "rx_data", "byte_out"});
+  const std::string valid = h.name({"valid", "rx_done", "ready"});
+  const std::string mod = h.name({"uart_rx", "rs232_rx", "serial_rx"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", rx.c_str()),
+       format("output reg [7:0] %s", dout.c_str()),
+       format("output reg %s", valid.c_str())},
+      {clk, rst, rx, dout, valid},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", rx.c_str()),
+       format("output reg [7:0] %s", dout.c_str()),
+       format("output reg %s", valid.c_str())});
+  os << "  reg [1:0] state;\n  reg [2:0] bit_idx;\n  reg [3:0] baud;\n"
+        "  reg [7:0] shifter;\n  wire tick, half_tick;\n";
+  os << "  assign tick = (baud == 4'hF);\n";
+  os << "  assign half_tick = (baud == 4'h7);\n";
+  const char* sample_expr = v.style % 2 == 0 ? "half_tick" : "tick";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) begin\n"
+      "      state <= 2'b00;\n      baud <= 4'h0;\n      bit_idx <= 3'b000;\n"
+      "      shifter <= 8'h00;\n      %s <= 1'b0;\n      %s <= 8'h00;\n"
+      "    end else begin\n"
+      "      %s <= 1'b0;\n"
+      "      baud <= baud + 4'h1;\n"
+      "      case (state)\n"
+      "        2'b00: if (~%s) begin state <= 2'b01; baud <= 4'h0; end\n"
+      "        2'b01: if (%s) begin state <= 2'b10; baud <= 4'h0; end\n"
+      "        2'b10: if (%s) begin\n"
+      "          shifter <= {%s, shifter[7:1]};\n"
+      "          bit_idx <= bit_idx + 3'b001;\n"
+      "          if (bit_idx == 3'b111) state <= 2'b11;\n"
+      "        end\n"
+      "        default: if (%s) begin\n"
+      "          state <= 2'b00;\n"
+      "          %s <= shifter;\n"
+      "          %s <= 1'b1;\n"
+      "        end\n"
+      "      endcase\n"
+      "    end\n"
+      "  end\n",
+      clk.c_str(), rst.c_str(), valid.c_str(), dout.c_str(), valid.c_str(),
+      rx.c_str(), sample_expr, "tick", rx.c_str(), "tick", dout.c_str(),
+      valid.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// spi_master — mode-0 SPI shift engine (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_spi_master(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string go = h.name({"go", "start", "xfer"});
+  const std::string din = h.name({"din", "mosi_data", "tx_byte"});
+  const std::string miso = h.name({"miso", "sdi"});
+  const std::string mosi = h.name({"mosi", "sdo"});
+  const std::string sclk = h.name({"sclk", "spi_clk"});
+  const std::string cs_n = h.name({"cs_n", "ss_n", "chip_sel_n"});
+  const std::string dout = h.name({"dout", "rx_byte"});
+  const std::string done = h.name({"done", "xfer_done"});
+  const std::string mod = h.name({"spi_master", "spi_core", "spi_unit"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", go.c_str()), format("input [7:0] %s", din.c_str()),
+       format("input %s", miso.c_str()), format("output %s", mosi.c_str()),
+       format("output reg %s", sclk.c_str()),
+       format("output reg %s", cs_n.c_str()),
+       format("output reg [7:0] %s", dout.c_str()),
+       format("output reg %s", done.c_str())},
+      {clk, rst, go, din, miso, mosi, sclk, cs_n, dout, done},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", go.c_str()), format("input [7:0] %s", din.c_str()),
+       format("input %s", miso.c_str()), format("output %s", mosi.c_str()),
+       format("output reg %s", sclk.c_str()),
+       format("output reg %s", cs_n.c_str()),
+       format("output reg [7:0] %s", dout.c_str()),
+       format("output reg %s", done.c_str())});
+  os << "  reg active;\n  reg [2:0] nbits;\n  reg [7:0] sh;\n";
+  os << format("  assign %s = sh[7];\n", mosi.c_str());
+  if (v.style % 2 == 0) {
+    os << format("  wire [7:0] sh_next;\n  assign sh_next = {sh[6:0], %s};\n",
+                 miso.c_str());
+  } else {
+    os << format(
+        "  wire [7:0] sh_next;\n"
+        "  assign sh_next = (sh << 1) | {7'b0000000, %s};\n",
+        miso.c_str());
+  }
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) begin\n"
+      "      active <= 1'b0;\n      %s <= 1'b1;\n      %s <= 1'b0;\n"
+      "      nbits <= 3'b000;\n      sh <= 8'h00;\n      %s <= 1'b0;\n"
+      "      %s <= 8'h00;\n"
+      "    end else begin\n"
+      "      %s <= 1'b0;\n"
+      "      if (~active) begin\n"
+      "        if (%s) begin\n"
+      "          active <= 1'b1;\n          %s <= 1'b0;\n"
+      "          sh <= %s;\n          nbits <= 3'b000;\n"
+      "        end\n"
+      "      end else begin\n"
+      "        %s <= ~%s;\n"
+      "        if (%s) begin\n"
+      "          sh <= sh_next;\n"
+      "          nbits <= nbits + 3'b001;\n"
+      "          if (nbits == 3'b111) begin\n"
+      "            active <= 1'b0;\n            %s <= 1'b1;\n"
+      "            %s <= 1'b1;\n            %s <= sh_next;\n"
+      "          end\n"
+      "        end\n"
+      "      end\n"
+      "    end\n"
+      "  end\n",
+      clk.c_str(), rst.c_str(), cs_n.c_str(), sclk.c_str(), done.c_str(),
+      dout.c_str(), done.c_str(), go.c_str(), cs_n.c_str(), din.c_str(),
+      sclk.c_str(), sclk.c_str(), sclk.c_str(), cs_n.c_str(), done.c_str(),
+      dout.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// pwm — counter/compare pulse-width modulator (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_pwm(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string duty = h.name({"duty", "threshold", "level"});
+  const std::string out = h.name({"pwm", "pulse", "out_wave"});
+  const std::string mod = h.name({"pwm_gen", "pwm_unit", "pulse_mod"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input [7:0] %s", duty.c_str()),
+       format("output %s", out.c_str())},
+      {clk, rst, duty, out},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input [7:0] %s", duty.c_str()),
+       format("output %s", out.c_str())});
+  os << "  reg [7:0] tick_count;\n";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) tick_count <= 8'h00;\n"
+      "    else tick_count <= tick_count + 8'h01;\n"
+      "  end\n",
+      clk.c_str(), rst.c_str());
+  if (v.style % 2 == 0) {
+    os << format("  assign %s = (tick_count < %s);\n", out.c_str(),
+                 duty.c_str());
+  } else {
+    os << format(
+        "  reg gated;\n"
+        "  always @(*) begin\n"
+        "    if (tick_count < %s) gated = 1'b1;\n"
+        "    else gated = 1'b0;\n"
+        "  end\n"
+        "  assign %s = gated;\n",
+        duty.c_str(), out.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// traffic_fsm — 3-phase traffic light controller (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_traffic_fsm(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string lights = h.name({"lights", "rgb", "signals"});
+  const std::string mod = h.name({"traffic_ctl", "light_fsm", "intersection"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output reg [2:0] %s", lights.c_str())},
+      {clk, rst, lights},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("output reg [2:0] %s", lights.c_str())});
+  os << "  reg [1:0] phase;\n  reg [3:0] timer;\n  wire expire;\n";
+  if (v.style % 2 == 0) {
+    os << "  assign expire = (phase == 2'b00) ? (timer == 4'hA) :\n"
+          "                  ((phase == 2'b01) ? (timer == 4'h3) : (timer == "
+          "4'hC));\n";
+  } else {
+    os << "  reg [3:0] limit;\n"
+          "  always @(*) begin\n"
+          "    case (phase)\n"
+          "      2'b00: limit = 4'hA;\n"
+          "      2'b01: limit = 4'h3;\n"
+          "      default: limit = 4'hC;\n"
+          "    endcase\n"
+          "  end\n"
+          "  assign expire = (timer == limit);\n";
+  }
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) begin\n"
+      "      phase <= 2'b00;\n      timer <= 4'h0;\n"
+      "    end else begin\n"
+      "      if (expire) begin\n"
+      "        timer <= 4'h0;\n"
+      "        phase <= (phase == 2'b10) ? 2'b00 : phase + 2'b01;\n"
+      "      end else timer <= timer + 4'h1;\n"
+      "    end\n"
+      "  end\n",
+      clk.c_str(), rst.c_str());
+  os << format(
+      "  always @(*) begin\n"
+      "    case (phase)\n"
+      "      2'b00: %s = 3'b001;\n"
+      "      2'b01: %s = 3'b010;\n"
+      "      default: %s = 3'b100;\n"
+      "    endcase\n"
+      "  end\n",
+      lights.c_str(), lights.c_str(), lights.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// seq_detector — Moore detector for pattern 1011 (binary vs one-hot
+// state encoding — same behavior, different structure).
+// ---------------------------------------------------------------------------
+std::string gen_seq_detector(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string sin = h.name({"sin", "bit_in", "x"});
+  const std::string hit = h.name({"hit", "found", "detected"});
+  const std::string mod = h.name({"seq1011", "pattern_det", "bit_matcher"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", sin.c_str()), format("output %s", hit.c_str())},
+      {clk, rst, sin, hit},
+      {format("input %s", clk.c_str()), format("input %s", rst.c_str()),
+       format("input %s", sin.c_str()), format("output %s", hit.c_str())});
+  if (v.style % 2 == 0) {
+    os << "  reg [2:0] st;\n";
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) st <= 3'b000;\n"
+        "    else begin\n"
+        "      case (st)\n"
+        "        3'b000: st <= %s ? 3'b001 : 3'b000;\n"
+        "        3'b001: st <= %s ? 3'b001 : 3'b010;\n"
+        "        3'b010: st <= %s ? 3'b011 : 3'b000;\n"
+        "        3'b011: st <= %s ? 3'b100 : 3'b010;\n"
+        "        default: st <= %s ? 3'b001 : 3'b010;\n"
+        "      endcase\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), sin.c_str(), sin.c_str(), sin.c_str(),
+        sin.c_str(), sin.c_str());
+    os << format("  assign %s = (st == 3'b100);\n", hit.c_str());
+  } else {
+    os << "  reg [4:0] st;\n";  // one-hot: S0..S4
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) st <= 5'b00001;\n"
+        "    else begin\n"
+        "      st[0] <= (st[0] & ~%s) | (st[2] & ~%s);\n"
+        "      st[1] <= (st[0] & %s) | (st[1] & %s) | (st[4] & %s);\n"
+        "      st[2] <= (st[1] & ~%s) | (st[3] & ~%s) | (st[4] & ~%s);\n"
+        "      st[3] <= st[2] & %s;\n"
+        "      st[4] <= st[3] & %s;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), sin.c_str(), sin.c_str(), sin.c_str(),
+        sin.c_str(), sin.c_str(), sin.c_str(), sin.c_str(), sin.c_str(),
+        sin.c_str(), sin.c_str());
+    os << format("  assign %s = st[4];\n", hit.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// multiplier — 4×4 unsigned (behavioral * vs explicit partial products).
+// ---------------------------------------------------------------------------
+std::string gen_multiplier(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string a = h.name({"a", "mcand", "x"});
+  const std::string b = h.name({"b", "mplier", "y"});
+  const std::string p = h.name({"p", "prod", "result"});
+  const std::string mod = h.name({"mult4", "multiplier", "mul_unit"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input [3:0] %s", a.c_str()),
+       format("input [3:0] %s", b.c_str()),
+       format("output [7:0] %s", p.c_str())},
+      {a, b, p},
+      {format("input [3:0] %s", a.c_str()),
+       format("input [3:0] %s", b.c_str()),
+       format("output [7:0] %s", p.c_str())});
+  // Both styles: product plus zero/overflow observables (same function,
+  // keeps the behavioral style's DFG from degenerating to one node).
+  if (v.style % 2 == 0) {
+    os << format("  wire [7:0] raw;\n  assign raw = %s * %s;\n", a.c_str(),
+                 b.c_str());
+    os << format("  assign %s = raw;\n", p.c_str());
+    os << format("  wire is_zero;\n  assign is_zero = (raw == 8'h00);\n");
+    os << format("  wire msb_set;\n  assign msb_set = raw[7] | is_zero;\n");
+  } else {
+    os << "  wire [7:0] pp0, pp1, pp2, pp3;\n";
+    std::vector<std::string> stmts = {
+        format("  assign pp0 = %s[0] ? {4'b0000, %s} : 8'h00;", b.c_str(),
+               a.c_str()),
+        format("  assign pp1 = %s[1] ? {3'b000, %s, 1'b0} : 8'h00;",
+               b.c_str(), a.c_str()),
+        format("  assign pp2 = %s[2] ? {2'b00, %s, 2'b00} : 8'h00;",
+               b.c_str(), a.c_str()),
+        format("  assign pp3 = %s[3] ? {1'b0, %s, 3'b000} : 8'h00;",
+               b.c_str(), a.c_str()),
+    };
+    h.shuffle_statements(stmts);
+    os << lines(stmts);
+    os << format("  wire [7:0] raw;\n  assign raw = (pp0 + pp1) + (pp2 + pp3);\n");
+    os << format("  assign %s = raw;\n", p.c_str());
+    os << format("  wire is_zero;\n  assign is_zero = ~(|raw);\n");
+    os << format("  wire msb_set;\n  assign msb_set = raw[7] | is_zero;\n");
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// hamming_enc — (12,8) Hamming encoder (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_hamming_enc(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string d = h.name({"d", "data", "msg"});
+  const std::string c = h.name({"code", "enc", "cw"});
+  const std::string mod = h.name({"hamming128", "ecc_enc", "ham_encoder"});
+  std::ostringstream os;
+  os << module_header(
+      h, mod,
+      {format("input [7:0] %s", d.c_str()),
+       format("output [11:0] %s", c.c_str())},
+      {d, c},
+      {format("input [7:0] %s", d.c_str()),
+       format("output [11:0] %s", c.c_str())});
+  os << "  wire p0, p1, p2, p3;\n";
+  std::vector<std::string> stmts = {
+      format("  assign p0 = %s[0] ^ %s[1] ^ %s[3] ^ %s[4] ^ %s[6];",
+             d.c_str(), d.c_str(), d.c_str(), d.c_str(), d.c_str()),
+      format("  assign p1 = %s[0] ^ %s[2] ^ %s[3] ^ %s[5] ^ %s[6];",
+             d.c_str(), d.c_str(), d.c_str(), d.c_str(), d.c_str()),
+      format("  assign p2 = %s[1] ^ %s[2] ^ %s[3] ^ %s[7];", d.c_str(),
+             d.c_str(), d.c_str(), d.c_str()),
+      format("  assign p3 = %s[4] ^ %s[5] ^ %s[6] ^ %s[7];", d.c_str(),
+             d.c_str(), d.c_str(), d.c_str()),
+  };
+  h.shuffle_statements(stmts);
+  os << lines(stmts);
+  if (v.style % 2 == 0) {
+    os << format(
+        "  assign %s = {%s[7:4], p3, %s[3:1], p2, %s[0], p1, p0};\n",
+        c.c_str(), d.c_str(), d.c_str(), d.c_str());
+  } else {
+    std::vector<std::string> bits = {
+        format("  assign %s[0] = p0;", c.c_str()),
+        format("  assign %s[1] = p1;", c.c_str()),
+        format("  assign %s[2] = %s[0];", c.c_str(), d.c_str()),
+        format("  assign %s[3] = p2;", c.c_str()),
+        format("  assign %s[4] = %s[1];", c.c_str(), d.c_str()),
+        format("  assign %s[5] = %s[2];", c.c_str(), d.c_str()),
+        format("  assign %s[6] = %s[3];", c.c_str(), d.c_str()),
+        format("  assign %s[7] = p3;", c.c_str()),
+        format("  assign %s[8] = %s[4];", c.c_str(), d.c_str()),
+        format("  assign %s[9] = %s[5];", c.c_str(), d.c_str()),
+        format("  assign %s[10] = %s[6];", c.c_str(), d.c_str()),
+        format("  assign %s[11] = %s[7];", c.c_str(), d.c_str()),
+    };
+    h.shuffle_statements(bits);
+    os << lines(bits);
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+const std::vector<RtlFamily>& rtl_families() {
+  // The "alu" family is the alu_block wrapper around the same alu_core
+  // the MIPS processors instantiate, so the corpus contains the exact
+  // design-and-its-subset relation Table II case 3 measures. The
+  // standalone flat ALU (gen_alu) stays available for tests.
+  static const std::vector<RtlFamily> kFamilies = {
+      {"adder", 3, gen_adder},
+      {"alu", 2, gen_alu_block},
+      {"counter", 2, gen_counter},
+      {"gray_counter", 2, gen_gray_counter},
+      {"lfsr", 2, gen_lfsr},
+      {"crc8", 2, gen_crc8},
+      {"parity", 2, gen_parity},
+      {"shift_reg", 2, gen_shift_reg},
+      {"fifo_ctrl", 2, gen_fifo_ctrl},
+      {"uart_tx", 2, gen_uart_tx},
+      {"uart_rx", 2, gen_uart_rx},
+      {"spi_master", 2, gen_spi_master},
+      {"pwm", 2, gen_pwm},
+      {"traffic_fsm", 2, gen_traffic_fsm},
+      {"seq_detector", 2, gen_seq_detector},
+      {"multiplier", 2, gen_multiplier},
+      {"hamming_enc", 2, gen_hamming_enc},
+      {"fpa", 2, gen_fpa},
+      {"aes_round", 2, gen_aes_round},
+      {"mips_single", 2, gen_mips_single},
+      {"mips_pipeline", 2, gen_mips_pipeline},
+      {"mips_multicycle", 2, gen_mips_multicycle},
+      {"barrel_shifter", 2, gen_barrel_shifter},
+      {"bcd_counter", 2, gen_bcd_counter},
+      {"johnson_counter", 2, gen_johnson_counter},
+      {"clock_divider", 2, gen_clock_divider},
+      {"debouncer", 2, gen_debouncer},
+      {"majority_voter", 2, gen_majority_voter},
+      {"popcount", 2, gen_popcount},
+      {"divider", 2, gen_divider},
+      {"rr_arbiter", 2, gen_rr_arbiter},
+      {"moving_average", 2, gen_moving_average},
+      {"sqrt", 2, gen_sqrt},
+  };
+  return kFamilies;
+}
+
+std::string generate_rtl(const std::string& family, const RtlVariant& variant) {
+  for (const RtlFamily& f : rtl_families()) {
+    if (f.name == family) return f.generate(variant);
+  }
+  throw std::invalid_argument("unknown RTL family '" + family + "'");
+}
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,76 @@
+// RTL circuit-family generators.
+//
+// Each family is one "design" in the paper's sense; generate() with
+// different RtlVariant values yields different Verilog codes of the same
+// design (piracy pairs). Families span the paper's corpus flavors:
+// datapath blocks (adders, ALU, multiplier, floating-point adder),
+// communication (UART/RS232 TX+RX, SPI), error coding (CRC, parity,
+// Hamming), sequential blocks (counters, LFSR, FIFO control, shift
+// register, PWM), FSMs (traffic light, sequence detector), crypto
+// (AES-like round), and three MIPS-style processors (single-cycle,
+// pipeline, multi-cycle) sharing an ALU submodule — the Table II /
+// Fig. 4 subjects.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/variants.h"
+
+namespace gnn4ip::data {
+
+struct RtlFamily {
+  std::string name;
+  /// Number of meaningfully distinct structural styles the generator
+  /// understands (style is taken modulo this).
+  int num_styles = 2;
+  std::function<std::string(const RtlVariant&)> generate;
+};
+
+/// All registered RTL families.
+[[nodiscard]] const std::vector<RtlFamily>& rtl_families();
+
+/// Generate family `name` (throws std::invalid_argument if unknown).
+[[nodiscard]] std::string generate_rtl(const std::string& family,
+                                       const RtlVariant& variant);
+
+/// Individual generators (exposed for targeted tests and Table II cases).
+[[nodiscard]] std::string gen_adder(const RtlVariant& v);
+[[nodiscard]] std::string gen_alu(const RtlVariant& v);
+[[nodiscard]] std::string gen_counter(const RtlVariant& v);
+[[nodiscard]] std::string gen_gray_counter(const RtlVariant& v);
+[[nodiscard]] std::string gen_lfsr(const RtlVariant& v);
+[[nodiscard]] std::string gen_crc8(const RtlVariant& v);
+[[nodiscard]] std::string gen_parity(const RtlVariant& v);
+[[nodiscard]] std::string gen_shift_reg(const RtlVariant& v);
+[[nodiscard]] std::string gen_fifo_ctrl(const RtlVariant& v);
+[[nodiscard]] std::string gen_uart_tx(const RtlVariant& v);
+[[nodiscard]] std::string gen_uart_rx(const RtlVariant& v);
+[[nodiscard]] std::string gen_spi_master(const RtlVariant& v);
+[[nodiscard]] std::string gen_pwm(const RtlVariant& v);
+[[nodiscard]] std::string gen_traffic_fsm(const RtlVariant& v);
+[[nodiscard]] std::string gen_seq_detector(const RtlVariant& v);
+[[nodiscard]] std::string gen_multiplier(const RtlVariant& v);
+[[nodiscard]] std::string gen_fpa(const RtlVariant& v);
+[[nodiscard]] std::string gen_aes_round(const RtlVariant& v);
+[[nodiscard]] std::string gen_hamming_enc(const RtlVariant& v);
+[[nodiscard]] std::string gen_mips_single(const RtlVariant& v);
+[[nodiscard]] std::string gen_mips_pipeline(const RtlVariant& v);
+[[nodiscard]] std::string gen_mips_multicycle(const RtlVariant& v);
+/// Standalone ALU top-level (Table II case 3: MIPS contains this block).
+[[nodiscard]] std::string gen_alu_block(const RtlVariant& v);
+// Second batch (rtl_designs2.cpp).
+[[nodiscard]] std::string gen_barrel_shifter(const RtlVariant& v);
+[[nodiscard]] std::string gen_bcd_counter(const RtlVariant& v);
+[[nodiscard]] std::string gen_johnson_counter(const RtlVariant& v);
+[[nodiscard]] std::string gen_clock_divider(const RtlVariant& v);
+[[nodiscard]] std::string gen_debouncer(const RtlVariant& v);
+[[nodiscard]] std::string gen_majority_voter(const RtlVariant& v);
+[[nodiscard]] std::string gen_popcount(const RtlVariant& v);
+[[nodiscard]] std::string gen_divider(const RtlVariant& v);
+[[nodiscard]] std::string gen_rr_arbiter(const RtlVariant& v);
+[[nodiscard]] std::string gen_moving_average(const RtlVariant& v);
+[[nodiscard]] std::string gen_sqrt(const RtlVariant& v);
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,571 @@
+// Second batch of RTL circuit families. The paper's corpus spans 50
+// distinct designs; a crowded design space is what pushes cross-design
+// similarity scores toward zero (Table II case 1), so the corpus ships
+// with as many structurally diverse families as practical.
+#include <sstream>
+
+#include "data/rtl_designs.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+using util::format;
+
+// ---------------------------------------------------------------------------
+// barrel_shifter — 8-bit left rotate by 3-bit amount (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_barrel_shifter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string din = h.name({"d", "data_in", "word"});
+  const std::string amt = h.name({"amt", "shift", "rot"});
+  const std::string out = h.name({"q", "data_out", "rotated"});
+  const std::string mod = h.name({"barrel8", "rotator", "shift_unit"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s);\n"
+      "  input [7:0] %s;\n  input [2:0] %s;\n  output [7:0] %s;\n",
+      mod.c_str(), din.c_str(), amt.c_str(), out.c_str(), din.c_str(),
+      amt.c_str(), out.c_str());
+  if (v.style % 2 == 0) {
+    // Three mux stages (1, 2, 4).
+    os << "  wire [7:0] s1, s2;\n";
+    os << format(
+        "  assign s1 = %s[0] ? {%s[6:0], %s[7]} : %s;\n", amt.c_str(),
+        din.c_str(), din.c_str(), din.c_str());
+    os << format("  assign s2 = %s[1] ? {s1[5:0], s1[7:6]} : s1;\n",
+                 amt.c_str());
+    os << format("  assign %s = %s[2] ? {s2[3:0], s2[7:4]} : s2;\n",
+                 out.c_str(), amt.c_str());
+  } else {
+    os << format(
+        "  wire [15:0] doubled;\n"
+        "  assign doubled = {%s, %s} << %s;\n"
+        "  assign %s = doubled[15:8];\n",
+        din.c_str(), din.c_str(), amt.c_str(), out.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// bcd_counter — two-digit BCD counter with carry (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_bcd_counter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string ones = h.name({"ones", "digit0", "units"});
+  const std::string tens = h.name({"tens", "digit1"});
+  const std::string mod = h.name({"bcd_counter", "decade_cnt", "bcd2"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input %s;\n  input %s;\n"
+      "  output reg [3:0] %s;\n  output reg [3:0] %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), ones.c_str(), tens.c_str(),
+      clk.c_str(), rst.c_str(), ones.c_str(), tens.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n      %s <= 4'd0;\n      %s <= 4'd0;\n"
+        "    end else begin\n"
+        "      if (%s == 4'd9) begin\n"
+        "        %s <= 4'd0;\n"
+        "        if (%s == 4'd9) %s <= 4'd0;\n"
+        "        else %s <= %s + 4'd1;\n"
+        "      end else %s <= %s + 4'd1;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), ones.c_str(), tens.c_str(), ones.c_str(),
+        ones.c_str(), tens.c_str(), tens.c_str(), tens.c_str(), tens.c_str(),
+        ones.c_str(), ones.c_str());
+  } else {
+    os << format(
+        "  wire wrap0, wrap1;\n"
+        "  assign wrap0 = (%s == 4'd9);\n"
+        "  assign wrap1 = wrap0 & (%s == 4'd9);\n"
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n      %s <= 4'd0;\n      %s <= 4'd0;\n"
+        "    end else begin\n"
+        "      %s <= wrap0 ? 4'd0 : %s + 4'd1;\n"
+        "      %s <= wrap1 ? 4'd0 : (wrap0 ? %s + 4'd1 : %s);\n"
+        "    end\n"
+        "  end\n",
+        ones.c_str(), tens.c_str(), clk.c_str(), rst.c_str(), ones.c_str(),
+        tens.c_str(), ones.c_str(), ones.c_str(), tens.c_str(), tens.c_str(),
+        tens.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// johnson_counter — 8-bit twisted-ring counter (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_johnson_counter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string q = h.name({"q", "ring", "jc_out"});
+  const std::string mod = h.name({"johnson8", "twisted_ring", "moebius"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s);\n"
+      "  input %s;\n  input %s;\n  output reg [7:0] %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), q.c_str(), clk.c_str(),
+      rst.c_str(), q.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else %s <= {%s[6:0], ~%s[7]};\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), q.c_str(), q.c_str(), q.c_str(),
+        q.c_str());
+  } else {
+    os << format(
+        "  wire feedback;\n  assign feedback = ~%s[7];\n"
+        "  wire [7:0] next_q;\n"
+        "  assign next_q = (%s << 1) | {7'b0000000, feedback};\n"
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 8'h00;\n"
+        "    else %s <= next_q;\n"
+        "  end\n",
+        q.c_str(), q.c_str(), clk.c_str(), rst.c_str(), q.c_str(),
+        q.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// clock_divider — divide-by-2/4/8 with selectable tap (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_clock_divider(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string sel = h.name({"sel", "div_sel", "ratio"});
+  const std::string out = h.name({"clk_out", "divided", "tick_out"});
+  const std::string mod = h.name({"clk_div", "divider", "prescaler"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input %s;\n  input %s;\n  input [1:0] %s;\n  output %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), sel.c_str(), out.c_str(),
+      clk.c_str(), rst.c_str(), sel.c_str(), out.c_str());
+  os << "  reg [3:0] div_cnt;\n";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) div_cnt <= 4'h0;\n"
+      "    else div_cnt <= div_cnt + 4'h1;\n"
+      "  end\n",
+      clk.c_str(), rst.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  assign %s = (%s == 2'b00) ? div_cnt[0] :\n"
+        "              (%s == 2'b01) ? div_cnt[1] :\n"
+        "              (%s == 2'b10) ? div_cnt[2] : div_cnt[3];\n",
+        out.c_str(), sel.c_str(), sel.c_str(), sel.c_str());
+  } else {
+    os << format(
+        "  reg tap;\n"
+        "  always @(*) begin\n"
+        "    case (%s)\n"
+        "      2'b00: tap = div_cnt[0];\n"
+        "      2'b01: tap = div_cnt[1];\n"
+        "      2'b10: tap = div_cnt[2];\n"
+        "      default: tap = div_cnt[3];\n"
+        "    endcase\n"
+        "  end\n"
+        "  assign %s = tap;\n",
+        sel.c_str(), out.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// debouncer — 4-sample agreement filter for a noisy input (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_debouncer(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string noisy = h.name({"noisy", "raw_in", "bouncy"});
+  const std::string clean = h.name({"clean", "stable_out", "filtered"});
+  const std::string mod = h.name({"debounce", "glitch_filter", "sync_filter"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input %s;\n  input %s;\n  input %s;\n  output reg %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), noisy.c_str(), clean.c_str(),
+      clk.c_str(), rst.c_str(), noisy.c_str(), clean.c_str());
+  os << "  reg [3:0] history;\n";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) history <= 4'h0;\n"
+      "    else history <= {history[2:0], %s};\n"
+      "  end\n",
+      clk.c_str(), rst.c_str(), noisy.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 1'b0;\n"
+        "    else if (history == 4'hF) %s <= 1'b1;\n"
+        "    else if (history == 4'h0) %s <= 1'b0;\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), clean.c_str(), clean.c_str(),
+        clean.c_str());
+  } else {
+    os << format(
+        "  wire all_high, all_low;\n"
+        "  assign all_high = &history;\n"
+        "  assign all_low = ~(|history);\n"
+        "  always @(posedge %s) begin\n"
+        "    if (%s) %s <= 1'b0;\n"
+        "    else %s <= all_high | (%s & ~all_low);\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), clean.c_str(), clean.c_str(),
+        clean.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// majority_voter — 7-input majority (2 styles: popcount vs logic).
+// ---------------------------------------------------------------------------
+std::string gen_majority_voter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string din = h.name({"votes", "inputs", "sensors"});
+  const std::string out = h.name({"major", "decision", "voted"});
+  const std::string mod = h.name({"majority7", "voter", "tmr_vote"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s);\n"
+      "  input [6:0] %s;\n  output %s;\n",
+      mod.c_str(), din.c_str(), out.c_str(), din.c_str(), out.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  wire [2:0] count;\n"
+        "  assign count = {2'b00, %s[0]} + {2'b00, %s[1]} + {2'b00, %s[2]}\n"
+        "               + {2'b00, %s[3]} + {2'b00, %s[4]} + {2'b00, %s[5]}\n"
+        "               + {2'b00, %s[6]};\n"
+        "  assign %s = (count >= 3'd4);\n",
+        din.c_str(), din.c_str(), din.c_str(), din.c_str(), din.c_str(),
+        din.c_str(), din.c_str(), out.c_str());
+  } else {
+    os << format(
+        "  wire [1:0] pair0, pair1, pair2;\n"
+        "  assign pair0 = {1'b0, %s[0]} + {1'b0, %s[1]};\n"
+        "  assign pair1 = {1'b0, %s[2]} + {1'b0, %s[3]};\n"
+        "  assign pair2 = {1'b0, %s[4]} + {1'b0, %s[5]};\n"
+        "  wire [2:0] total;\n"
+        "  assign total = {1'b0, pair0} + {1'b0, pair1} + {1'b0, pair2}\n"
+        "               + {2'b00, %s[6]};\n"
+        "  assign %s = total[2] & (total[1] | total[0]) | (total == 3'd4);\n",
+        din.c_str(), din.c_str(), din.c_str(), din.c_str(), din.c_str(),
+        din.c_str(), din.c_str(), out.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// popcount8 — population count (2 styles: tree vs nibble LUT).
+// ---------------------------------------------------------------------------
+std::string gen_popcount(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string din = h.name({"bits", "word", "vec"});
+  const std::string cnt = h.name({"count", "ones_count", "popcnt"});
+  const std::string mod = h.name({"popcount8", "ones_counter", "bitcount"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s);\n"
+      "  input [7:0] %s;\n  output [3:0] %s;\n",
+      mod.c_str(), din.c_str(), cnt.c_str(), din.c_str(), cnt.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  wire [1:0] p0, p1, p2, p3;\n"
+        "  assign p0 = {1'b0, %s[0]} + {1'b0, %s[1]};\n"
+        "  assign p1 = {1'b0, %s[2]} + {1'b0, %s[3]};\n"
+        "  assign p2 = {1'b0, %s[4]} + {1'b0, %s[5]};\n"
+        "  assign p3 = {1'b0, %s[6]} + {1'b0, %s[7]};\n"
+        "  wire [2:0] q0, q1;\n"
+        "  assign q0 = {1'b0, p0} + {1'b0, p1};\n"
+        "  assign q1 = {1'b0, p2} + {1'b0, p3};\n"
+        "  assign %s = {1'b0, q0} + {1'b0, q1};\n",
+        din.c_str(), din.c_str(), din.c_str(), din.c_str(), din.c_str(),
+        din.c_str(), din.c_str(), din.c_str(), cnt.c_str());
+  } else {
+    os << format(
+        "  reg [2:0] lo, hi;\n"
+        "  always @(*) begin\n"
+        "    case (%s[3:0])\n"
+        "      4'h0: lo = 3'd0;\n      4'h1: lo = 3'd1;\n"
+        "      4'h2: lo = 3'd1;\n      4'h3: lo = 3'd2;\n"
+        "      4'h4: lo = 3'd1;\n      4'h5: lo = 3'd2;\n"
+        "      4'h6: lo = 3'd2;\n      4'h7: lo = 3'd3;\n"
+        "      4'h8: lo = 3'd1;\n      4'h9: lo = 3'd2;\n"
+        "      4'hA: lo = 3'd2;\n      4'hB: lo = 3'd3;\n"
+        "      4'hC: lo = 3'd2;\n      4'hD: lo = 3'd3;\n"
+        "      4'hE: lo = 3'd3;\n      default: lo = 3'd4;\n"
+        "    endcase\n"
+        "    case (%s[7:4])\n"
+        "      4'h0: hi = 3'd0;\n      4'h1: hi = 3'd1;\n"
+        "      4'h2: hi = 3'd1;\n      4'h3: hi = 3'd2;\n"
+        "      4'h4: hi = 3'd1;\n      4'h5: hi = 3'd2;\n"
+        "      4'h6: hi = 3'd2;\n      4'h7: hi = 3'd3;\n"
+        "      4'h8: hi = 3'd1;\n      4'h9: hi = 3'd2;\n"
+        "      4'hA: hi = 3'd2;\n      4'hB: hi = 3'd3;\n"
+        "      4'hC: hi = 3'd2;\n      4'hD: hi = 3'd3;\n"
+        "      4'hE: hi = 3'd3;\n      default: hi = 3'd4;\n"
+        "    endcase\n"
+        "  end\n"
+        "  assign %s = {1'b0, lo} + {1'b0, hi};\n",
+        din.c_str(), din.c_str(), cnt.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// divider4 — unrolled restoring divider, 4-bit / 4-bit (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_divider(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string num = h.name({"num", "dividend", "a"});
+  const std::string den = h.name({"den", "divisor", "b"});
+  const std::string quo = h.name({"quo", "quotient", "q"});
+  const std::string rem = h.name({"rem", "remainder", "r"});
+  const std::string mod = h.name({"div4", "divider", "div_unit"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input [3:0] %s;\n  input [3:0] %s;\n"
+      "  output [3:0] %s;\n  output [3:0] %s;\n",
+      mod.c_str(), num.c_str(), den.c_str(), quo.c_str(), rem.c_str(),
+      num.c_str(), den.c_str(), quo.c_str(), rem.c_str());
+  if (v.style % 2 == 0) {
+    os << format("  assign %s = %s / %s;\n", quo.c_str(), num.c_str(),
+                 den.c_str());
+    os << format("  assign %s = %s %% %s;\n", rem.c_str(), num.c_str(),
+                 den.c_str());
+  } else {
+    // Unrolled restoring division, MSB first.
+    os << format(
+        "  wire [4:0] r3, r2, r1, r0;\n"
+        "  wire [4:0] t3, t2, t1, t0;\n"
+        "  assign t3 = {4'b0000, %s[3]};\n"
+        "  assign r3 = (t3 >= {1'b0, %s}) ? t3 - {1'b0, %s} : t3;\n"
+        "  assign t2 = {r3[3:0], %s[2]};\n"
+        "  assign r2 = (t2 >= {1'b0, %s}) ? t2 - {1'b0, %s} : t2;\n"
+        "  assign t1 = {r2[3:0], %s[1]};\n"
+        "  assign r1 = (t1 >= {1'b0, %s}) ? t1 - {1'b0, %s} : t1;\n"
+        "  assign t0 = {r1[3:0], %s[0]};\n"
+        "  assign r0 = (t0 >= {1'b0, %s}) ? t0 - {1'b0, %s} : t0;\n",
+        num.c_str(), den.c_str(), den.c_str(), num.c_str(), den.c_str(),
+        den.c_str(), num.c_str(), den.c_str(), den.c_str(), num.c_str(),
+        den.c_str(), den.c_str());
+    os << format(
+        "  assign %s = {(t3 >= {1'b0, %s}), (t2 >= {1'b0, %s}),\n"
+        "               (t1 >= {1'b0, %s}), (t0 >= {1'b0, %s})};\n",
+        quo.c_str(), den.c_str(), den.c_str(), den.c_str(), den.c_str());
+    os << format("  assign %s = r0[3:0];\n", rem.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// rr_arbiter — 4-requester round-robin arbiter (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_rr_arbiter(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string req = h.name({"req", "requests", "bus_req"});
+  const std::string grant = h.name({"grant", "gnt", "bus_gnt"});
+  const std::string mod = h.name({"rr_arbiter4", "arbiter", "bus_arb"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input %s;\n  input %s;\n  input [3:0] %s;\n"
+      "  output reg [3:0] %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), req.c_str(), grant.c_str(),
+      clk.c_str(), rst.c_str(), req.c_str(), grant.c_str());
+  os << "  reg [1:0] last;\n  reg [3:0] next_grant;\n"
+        "  reg [1:0] next_last;\n";
+  // Priority rotation: search from last+1 onward.
+  os << format(
+      "  always @(*) begin\n"
+      "    next_grant = 4'b0000;\n"
+      "    next_last = last;\n"
+      "    case (last)\n"
+      "      2'd0: begin\n"
+      "        if (%s[1]) begin next_grant = 4'b0010; next_last = 2'd1; end\n"
+      "        else if (%s[2]) begin next_grant = 4'b0100; next_last = 2'd2; end\n"
+      "        else if (%s[3]) begin next_grant = 4'b1000; next_last = 2'd3; end\n"
+      "        else if (%s[0]) begin next_grant = 4'b0001; next_last = 2'd0; end\n"
+      "      end\n"
+      "      2'd1: begin\n"
+      "        if (%s[2]) begin next_grant = 4'b0100; next_last = 2'd2; end\n"
+      "        else if (%s[3]) begin next_grant = 4'b1000; next_last = 2'd3; end\n"
+      "        else if (%s[0]) begin next_grant = 4'b0001; next_last = 2'd0; end\n"
+      "        else if (%s[1]) begin next_grant = 4'b0010; next_last = 2'd1; end\n"
+      "      end\n"
+      "      2'd2: begin\n"
+      "        if (%s[3]) begin next_grant = 4'b1000; next_last = 2'd3; end\n"
+      "        else if (%s[0]) begin next_grant = 4'b0001; next_last = 2'd0; end\n"
+      "        else if (%s[1]) begin next_grant = 4'b0010; next_last = 2'd1; end\n"
+      "        else if (%s[2]) begin next_grant = 4'b0100; next_last = 2'd2; end\n"
+      "      end\n"
+      "      default: begin\n"
+      "        if (%s[0]) begin next_grant = 4'b0001; next_last = 2'd0; end\n"
+      "        else if (%s[1]) begin next_grant = 4'b0010; next_last = 2'd1; end\n"
+      "        else if (%s[2]) begin next_grant = 4'b0100; next_last = 2'd2; end\n"
+      "        else if (%s[3]) begin next_grant = 4'b1000; next_last = 2'd3; end\n"
+      "      end\n"
+      "    endcase\n"
+      "  end\n",
+      req.c_str(), req.c_str(), req.c_str(), req.c_str(), req.c_str(),
+      req.c_str(), req.c_str(), req.c_str(), req.c_str(), req.c_str(),
+      req.c_str(), req.c_str(), req.c_str(), req.c_str(), req.c_str(),
+      req.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      %s <= 4'b0000;\n      last <= 2'd3;\n"
+        "    end else begin\n"
+        "      %s <= next_grant;\n      last <= next_last;\n"
+        "    end\n"
+        "  end\n",
+        clk.c_str(), rst.c_str(), grant.c_str(), grant.c_str());
+  } else {
+    os << format(
+        "  wire any_req;\n  assign any_req = |%s;\n"
+        "  always @(posedge %s) begin\n"
+        "    if (%s) begin\n"
+        "      %s <= 4'b0000;\n      last <= 2'd3;\n"
+        "    end else begin\n"
+        "      %s <= any_req ? next_grant : 4'b0000;\n"
+        "      last <= any_req ? next_last : last;\n"
+        "    end\n"
+        "  end\n",
+        req.c_str(), clk.c_str(), rst.c_str(), grant.c_str(),
+        grant.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// moving_average — 4-sample moving average filter (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_moving_average(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string clk = h.name({"clk", "clock"});
+  const std::string rst = h.name({"rst", "reset"});
+  const std::string sample = h.name({"sample", "adc_in", "x_in"});
+  const std::string avg = h.name({"avg", "filtered", "y_out"});
+  const std::string mod = h.name({"mavg4", "boxcar_filter", "smoother"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s, %s);\n"
+      "  input %s;\n  input %s;\n  input [7:0] %s;\n  output [7:0] %s;\n",
+      mod.c_str(), clk.c_str(), rst.c_str(), sample.c_str(), avg.c_str(),
+      clk.c_str(), rst.c_str(), sample.c_str(), avg.c_str());
+  os << "  reg [7:0] w0, w1, w2, w3;\n";
+  os << format(
+      "  always @(posedge %s) begin\n"
+      "    if (%s) begin\n"
+      "      w0 <= 8'h00;\n      w1 <= 8'h00;\n"
+      "      w2 <= 8'h00;\n      w3 <= 8'h00;\n"
+      "    end else begin\n"
+      "      w0 <= %s;\n      w1 <= w0;\n      w2 <= w1;\n      w3 <= w2;\n"
+      "    end\n"
+      "  end\n",
+      clk.c_str(), rst.c_str(), sample.c_str());
+  if (v.style % 2 == 0) {
+    os << format(
+        "  wire [9:0] total;\n"
+        "  assign total = {2'b00, w0} + {2'b00, w1} + {2'b00, w2} + "
+        "{2'b00, w3};\n"
+        "  assign %s = total[9:2];\n",
+        avg.c_str());
+  } else {
+    os << format(
+        "  wire [8:0] s01, s23;\n"
+        "  assign s01 = {1'b0, w0} + {1'b0, w1};\n"
+        "  assign s23 = {1'b0, w2} + {1'b0, w3};\n"
+        "  wire [9:0] total;\n"
+        "  assign total = {1'b0, s01} + {1'b0, s23};\n"
+        "  assign %s = total >> 2;\n",
+        avg.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// sqrt4 — integer square root of an 8-bit value (2 styles).
+// ---------------------------------------------------------------------------
+std::string gen_sqrt(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string x = h.name({"x", "radicand", "value"});
+  const std::string root = h.name({"root", "sqrt_out", "isqrt"});
+  const std::string mod = h.name({"sqrt8", "isqrt_unit", "root_calc"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s);\n"
+      "  input [7:0] %s;\n  output [3:0] %s;\n",
+      mod.c_str(), x.c_str(), root.c_str(), x.c_str(), root.c_str());
+  if (v.style % 2 == 0) {
+    // Comparison ladder against the 16 perfect squares.
+    os << format(
+        "  assign %s = (%s >= 8'd225) ? 4'd15 :\n"
+        "              (%s >= 8'd196) ? 4'd14 :\n"
+        "              (%s >= 8'd169) ? 4'd13 :\n"
+        "              (%s >= 8'd144) ? 4'd12 :\n"
+        "              (%s >= 8'd121) ? 4'd11 :\n"
+        "              (%s >= 8'd100) ? 4'd10 :\n"
+        "              (%s >= 8'd81) ? 4'd9 :\n"
+        "              (%s >= 8'd64) ? 4'd8 :\n"
+        "              (%s >= 8'd49) ? 4'd7 :\n"
+        "              (%s >= 8'd36) ? 4'd6 :\n"
+        "              (%s >= 8'd25) ? 4'd5 :\n"
+        "              (%s >= 8'd16) ? 4'd4 :\n"
+        "              (%s >= 8'd9) ? 4'd3 :\n"
+        "              (%s >= 8'd4) ? 4'd2 :\n"
+        "              (%s >= 8'd1) ? 4'd1 : 4'd0;\n",
+        root.c_str(), x.c_str(), x.c_str(), x.c_str(), x.c_str(), x.c_str(),
+        x.c_str(), x.c_str(), x.c_str(), x.c_str(), x.c_str(), x.c_str(),
+        x.c_str(), x.c_str(), x.c_str(), x.c_str());
+  } else {
+    // Bit-by-bit non-restoring method, unrolled for 4 result bits.
+    os << format(
+        "  wire [3:0] g3, g2, g1, g0;\n"
+        "  assign g3 = 4'b1000;\n"
+        "  wire ok3;\n  assign ok3 = ({4'b0000, g3} * {4'b0000, g3} <= "
+        "{8'b00000000, %s});\n"
+        "  assign g2 = (ok3 ? g3 : 4'b0000) | 4'b0100;\n"
+        "  wire ok2;\n  assign ok2 = ({4'b0000, g2} * {4'b0000, g2} <= "
+        "{8'b00000000, %s});\n"
+        "  assign g1 = (ok2 ? g2 : (ok3 ? g3 : 4'b0000)) | 4'b0010;\n"
+        "  wire ok1;\n  assign ok1 = ({4'b0000, g1} * {4'b0000, g1} <= "
+        "{8'b00000000, %s});\n"
+        "  assign g0 = (ok1 ? g1 : (ok2 ? g2 : (ok3 ? g3 : 4'b0000))) | "
+        "4'b0001;\n"
+        "  wire ok0;\n  assign ok0 = ({4'b0000, g0} * {4'b0000, g0} <= "
+        "{8'b00000000, %s});\n"
+        "  assign %s = ok0 ? g0 : (ok1 ? g1 : (ok2 ? g2 : (ok3 ? g3 : "
+        "4'b0000)));\n",
+        x.c_str(), x.c_str(), x.c_str(), x.c_str(), root.c_str());
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace gnn4ip::data

@@ -1,0 +1,475 @@
+// Processor-class RTL families: floating-point adder, AES-like round,
+// and the three MIPS-style cores (single-cycle, pipeline, multi-cycle)
+// that drive Table II and Fig. 4(b,c). All three MIPS cores instantiate
+// the same alu_core module, giving the exact "design and its subset"
+// relation of Table II case 3.
+#include <sstream>
+
+#include "data/rtl_designs.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+using util::format;
+
+namespace {
+
+/// Shared 8-bit ALU submodule with fixed port names (op1, op2, ctl, res,
+/// zf, nf, cf) so every processor family instantiates it identically;
+/// internal style still varies per instance. The flag network makes the
+/// block a substantial shared subgraph of each MIPS DFG — the Table II
+/// case-3 relation.
+std::string alu_core_module(VariantHelper& h, const std::string& mod_name) {
+  std::ostringstream os;
+  os << "module " << mod_name
+     << " (op1, op2, ctl, res, zf, nf, cf);\n"
+        "  input [7:0] op1;\n  input [7:0] op2;\n  input [2:0] ctl;\n"
+        "  output reg [7:0] res;\n  output zf;\n  output nf;\n"
+        "  output cf;\n"
+        "  wire [8:0] sum9, diff9;\n"
+        "  assign sum9 = {1'b0, op1} + {1'b0, op2};\n"
+        "  assign diff9 = {1'b0, op1} - {1'b0, op2};\n";
+  if (h.flip()) {
+    std::vector<std::string> arms = {
+        "      3'b000: res = sum9[7:0];",
+        "      3'b001: res = diff9[7:0];",
+        "      3'b010: res = op1 & op2;",
+        "      3'b011: res = op1 | op2;",
+        "      3'b100: res = op1 ^ op2;",
+        "      3'b101: res = {7'b0000000, diff9[8]};",
+        "      3'b110: res = op1 << 1;",
+    };
+    h.shuffle_statements(arms);
+    os << "  always @(*) begin\n    case (ctl)\n";
+    os << lines(arms);
+    os << "      default: res = op1 >> 1;\n    endcase\n  end\n";
+  } else {
+    os << "  always @(*) begin\n"
+          "    res = (ctl == 3'b000) ? sum9[7:0] :\n"
+          "          (ctl == 3'b001) ? diff9[7:0] :\n"
+          "          (ctl == 3'b010) ? (op1 & op2) :\n"
+          "          (ctl == 3'b011) ? (op1 | op2) :\n"
+          "          (ctl == 3'b100) ? (op1 ^ op2) :\n"
+          "          (ctl == 3'b101) ? {7'b0000000, diff9[8]} :\n"
+          "          (ctl == 3'b110) ? (op1 << 1) : (op1 >> 1);\n"
+          "  end\n";
+  }
+  os << "  assign zf = (res == 8'h00);\n"
+        "  assign nf = res[7];\n"
+        "  assign cf = (ctl == 3'b001) ? diff9[8] : sum9[8];\n"
+        "endmodule\n";
+  return os.str();
+}
+
+/// Register-file read mux over four 8-bit registers.
+std::string regread(const std::string& sel, const char* r0, const char* r1,
+                    const char* r2, const char* r3) {
+  return format("(%s == 2'b00) ? %s : ((%s == 2'b01) ? %s : ((%s == 2'b10) ? %s : %s))",
+                sel.c_str(), r0, sel.c_str(), r1, sel.c_str(), r2, r3);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// alu_block — standalone top wrapping alu_core (Table II case 3).
+// ---------------------------------------------------------------------------
+std::string gen_alu_block(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string core = h.name({"alu_core", "alu8_core", "alu_inner"});
+  const std::string mod = h.name({"alu_top", "alu_block", "alu_wrap"});
+  std::ostringstream os;
+  os << alu_core_module(h, core);
+  os << format(
+      "module %s (a_in, b_in, f_sel, y_out, z_out, n_out, c_out);\n"
+      "  input [7:0] a_in;\n  input [7:0] b_in;\n  input [2:0] f_sel;\n"
+      "  output [7:0] y_out;\n  output z_out;\n  output n_out;\n"
+      "  output c_out;\n"
+      "  %s u_core (.op1(a_in), .op2(b_in), .ctl(f_sel), .res(y_out), "
+      ".zf(z_out), .nf(n_out), .cf(c_out));\n"
+      "endmodule\n",
+      mod.c_str(), core.c_str());
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// fpa — simplified 16-bit floating point adder (1s5e10m), 2 styles.
+// ---------------------------------------------------------------------------
+std::string gen_fpa(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string a = h.name({"a", "fp_a", "x"});
+  const std::string b = h.name({"b", "fp_b", "y"});
+  const std::string s = h.name({"s", "fp_sum", "z"});
+  const std::string mod = h.name({"fpadd16", "fp_adder", "float_add"});
+  std::ostringstream os;
+  os << format(
+      "module %s (%s, %s, %s);\n"
+      "  input [15:0] %s;\n  input [15:0] %s;\n  output [15:0] %s;\n",
+      mod.c_str(), a.c_str(), b.c_str(), s.c_str(), a.c_str(), b.c_str(),
+      s.c_str());
+  os << format(
+      "  wire sa, sb;\n  wire [4:0] ea, eb;\n  wire [9:0] ma, mb;\n"
+      "  assign sa = %s[15];\n  assign sb = %s[15];\n"
+      "  assign ea = %s[14:10];\n  assign eb = %s[14:10];\n"
+      "  assign ma = %s[9:0];\n  assign mb = %s[9:0];\n",
+      a.c_str(), b.c_str(), a.c_str(), b.c_str(), a.c_str(), b.c_str());
+  os << "  wire [10:0] fa, fb;\n"
+        "  assign fa = {1'b1, ma};\n  assign fb = {1'b1, mb};\n";
+  os << "  wire a_ge;\n"
+        "  assign a_ge = (ea > eb) | ((ea == eb) & (ma >= mb));\n";
+  if (v.style % 2 == 0) {
+    os << "  wire [4:0] exp_big, exp_diff;\n"
+          "  wire [10:0] man_big, man_small;\n"
+          "  assign exp_big = a_ge ? ea : eb;\n"
+          "  assign exp_diff = a_ge ? (ea - eb) : (eb - ea);\n"
+          "  assign man_big = a_ge ? fa : fb;\n"
+          "  assign man_small = (a_ge ? fb : fa) >> exp_diff;\n";
+  } else {
+    os << "  reg [4:0] exp_big, exp_diff;\n"
+          "  reg [10:0] man_big, man_small;\n"
+          "  always @(*) begin\n"
+          "    if (a_ge) begin\n"
+          "      exp_big = ea;\n      exp_diff = ea - eb;\n"
+          "      man_big = fa;\n      man_small = fb >> (ea - eb);\n"
+          "    end else begin\n"
+          "      exp_big = eb;\n      exp_diff = eb - ea;\n"
+          "      man_big = fb;\n      man_small = fa >> (eb - ea);\n"
+          "    end\n"
+          "  end\n";
+  }
+  os << "  wire same_sign;\n"
+        "  assign same_sign = (sa == sb);\n"
+        "  wire [11:0] man_sum;\n"
+        "  assign man_sum = same_sign ? ({1'b0, man_big} + {1'b0, man_small})"
+        "\n                            : ({1'b0, man_big} - {1'b0, "
+        "man_small});\n";
+  os << "  reg [9:0] man_out;\n  reg [4:0] exp_out;\n"
+        "  always @(*) begin\n"
+        "    if (man_sum[11]) begin\n"
+        "      man_out = man_sum[10:1];\n      exp_out = exp_big + 5'h01;\n"
+        "    end else if (man_sum[10]) begin\n"
+        "      man_out = man_sum[9:0];\n      exp_out = exp_big;\n"
+        "    end else if (man_sum[9]) begin\n"
+        "      man_out = {man_sum[8:0], 1'b0};\n"
+        "      exp_out = exp_big - 5'h01;\n"
+        "    end else if (man_sum[8]) begin\n"
+        "      man_out = {man_sum[7:0], 2'b00};\n"
+        "      exp_out = exp_big - 5'h02;\n"
+        "    end else begin\n"
+        "      man_out = {man_sum[7:0], 2'b00};\n"
+        "      exp_out = exp_big - 5'h03;\n"
+        "    end\n"
+        "  end\n";
+  os << "  wire sign_out;\n"
+        "  assign sign_out = a_ge ? sa : sb;\n";
+  os << format("  assign %s = {sign_out, exp_out, man_out};\n", s.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// aes_round — toy 16-bit SPN round: SubBytes (4× sbox4 modules),
+// ShiftRows (nibble rotate), MixColumns-ish XOR mixing, AddRoundKey.
+// ---------------------------------------------------------------------------
+std::string gen_aes_round(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string sbox = h.name({"sbox4", "nib_sub", "sub_box"});
+  const std::string blk = h.name({"blk", "state_in", "pt"});
+  const std::string key = h.name({"key", "round_key", "rk"});
+  const std::string out = h.name({"ct", "state_out", "round_out"});
+  const std::string mod = h.name({"aes_round16", "spn_round", "cipher_round"});
+  std::ostringstream os;
+  os << format(
+      "module %s (nib, sub);\n"
+      "  input [3:0] nib;\n  output reg [3:0] sub;\n"
+      "  always @(*) begin\n    case (nib)\n",
+      sbox.c_str());
+  // PRESENT cipher S-box — a real cryptographic 4-bit S-box.
+  const char* kSbox[16] = {"4'hC", "4'h5", "4'h6", "4'hB", "4'h9", "4'h0",
+                           "4'hA", "4'hD", "4'h3", "4'hE", "4'hF", "4'h8",
+                           "4'h4", "4'h7", "4'h1", "4'h2"};
+  for (int i = 0; i < 15; ++i) {
+    os << format("      4'h%X: sub = %s;\n", i, kSbox[i]);
+  }
+  os << format("      default: sub = %s;\n", kSbox[15]);
+  os << "    endcase\n  end\nendmodule\n";
+
+  os << format(
+      "module %s (%s, %s, %s);\n"
+      "  input [15:0] %s;\n  input [15:0] %s;\n  output [15:0] %s;\n"
+      "  wire [3:0] w0, w1, w2, w3;\n",
+      mod.c_str(), blk.c_str(), key.c_str(), out.c_str(), blk.c_str(),
+      key.c_str(), out.c_str());
+  std::vector<std::string> subs = {
+      format("  %s s0 (.nib(%s[3:0]), .sub(w0));", sbox.c_str(), blk.c_str()),
+      format("  %s s1 (.nib(%s[7:4]), .sub(w1));", sbox.c_str(), blk.c_str()),
+      format("  %s s2 (.nib(%s[11:8]), .sub(w2));", sbox.c_str(),
+             blk.c_str()),
+      format("  %s s3 (.nib(%s[15:12]), .sub(w3));", sbox.c_str(),
+             blk.c_str()),
+  };
+  h.shuffle_statements(subs);
+  os << lines(subs);
+  if (v.style % 2 == 0) {
+    os << "  wire [15:0] shifted;\n"
+          "  assign shifted = {w2, w1, w0, w3};\n"
+          "  wire [15:0] mixed;\n"
+          "  assign mixed = {shifted[15:12] ^ shifted[11:8],\n"
+          "                  shifted[11:8] ^ shifted[7:4],\n"
+          "                  shifted[7:4] ^ shifted[3:0],\n"
+          "                  shifted[3:0] ^ shifted[15:12]};\n";
+  } else {
+    os << "  wire [3:0] sh0, sh1, sh2, sh3;\n"
+          "  assign sh0 = w3;\n  assign sh1 = w0;\n"
+          "  assign sh2 = w1;\n  assign sh3 = w2;\n"
+          "  wire [3:0] m0, m1, m2, m3;\n"
+          "  assign m0 = sh0 ^ sh3;\n  assign m1 = sh1 ^ sh0;\n"
+          "  assign m2 = sh2 ^ sh1;\n  assign m3 = sh3 ^ sh2;\n"
+          "  wire [15:0] mixed;\n"
+          "  assign mixed = {m3, m2, m1, m0};\n";
+  }
+  os << format("  assign %s = mixed ^ %s;\n", out.c_str(), key.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// mips_single — single-cycle core (Fig. 4 subject, Table II case 2/3).
+// ---------------------------------------------------------------------------
+std::string gen_mips_single(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string core = h.name({"alu_core", "alu8_core", "alu_inner"});
+  const std::string instr = h.name({"instr", "insn", "iword"});
+  const std::string pc = h.name({"pc", "prog_counter", "ip"});
+  const std::string result = h.name({"result", "alu_view", "ex_result"});
+  const std::string mod = h.name({"mips_single", "sc_mips", "mips_sc"});
+  std::ostringstream os;
+  os << alu_core_module(h, core);
+  os << format(
+      "module %s (clk, rst, %s, %s, %s);\n"
+      "  input clk;\n  input rst;\n  input [15:0] %s;\n"
+      "  output reg [7:0] %s;\n  output [7:0] %s;\n",
+      mod.c_str(), instr.c_str(), pc.c_str(), result.c_str(), instr.c_str(),
+      pc.c_str(), result.c_str());
+  os << "  reg [7:0] r0, r1, r2, r3;\n";
+  os << format(
+      "  wire [3:0] opcode;\n  wire [1:0] rd, rs, rt;\n  wire [3:0] imm;\n"
+      "  assign opcode = %s[15:12];\n"
+      "  assign rd = %s[11:10];\n"
+      "  assign rs = %s[9:8];\n"
+      "  assign rt = %s[7:6];\n"
+      "  assign imm = %s[7:4];\n",
+      instr.c_str(), instr.c_str(), instr.c_str(), instr.c_str(),
+      instr.c_str());
+  os << format("  wire [7:0] rs_val;\n  assign rs_val = %s;\n",
+               regread("rs", "r0", "r1", "r2", "r3").c_str());
+  os << format("  wire [7:0] rt_val;\n  assign rt_val = %s;\n",
+               regread("rt", "r0", "r1", "r2", "r3").c_str());
+  os << "  wire use_imm;\n  assign use_imm = (opcode == 4'h8);\n"
+        "  wire [7:0] opb;\n"
+        "  assign opb = use_imm ? {4'b0000, imm} : rt_val;\n"
+        "  wire [2:0] alu_ctl;\n"
+        "  assign alu_ctl = use_imm ? 3'b000 : opcode[2:0];\n"
+        "  wire [7:0] alu_res;\n  wire zf, nf, cf;\n";
+  os << format(
+      "  %s u_alu (.op1(rs_val), .op2(opb), .ctl(alu_ctl), .res(alu_res), "
+      ".zf(zf), .nf(nf), .cf(cf));\n",
+      core.c_str());
+  os << "  wire is_beq, is_blt, wr_en, take_branch;\n"
+        "  assign is_beq = (opcode == 4'hA);\n"
+        "  assign is_blt = (opcode == 4'hB);\n"
+        "  assign take_branch = (is_beq & zf) | (is_blt & (nf | cf));\n"
+        "  assign wr_en = ~is_beq & ~is_blt & (opcode != 4'hF);\n";
+  os << format(
+      "  always @(posedge clk) begin\n"
+      "    if (rst) begin\n"
+      "      %s <= 8'h00;\n      r0 <= 8'h00;\n      r1 <= 8'h00;\n"
+      "      r2 <= 8'h00;\n      r3 <= 8'h00;\n"
+      "    end else begin\n"
+      "      %s <= take_branch ? %s + {4'b0000, imm} : %s + 8'h01;\n"
+      "      if (wr_en) begin\n"
+      "        case (rd)\n"
+      "          2'b00: r0 <= alu_res;\n"
+      "          2'b01: r1 <= alu_res;\n"
+      "          2'b10: r2 <= alu_res;\n"
+      "          default: r3 <= alu_res;\n"
+      "        endcase\n"
+      "      end\n"
+      "    end\n"
+      "  end\n",
+      pc.c_str(), pc.c_str(), pc.c_str(), pc.c_str());
+  os << format("  assign %s = alu_res;\n", result.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// mips_pipeline — 3-stage pipelined core (IF/ID, ID/EX, EX/WB registers).
+// ---------------------------------------------------------------------------
+std::string gen_mips_pipeline(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string core = h.name({"alu_core", "alu8_core", "alu_inner"});
+  const std::string instr = h.name({"instr", "insn", "iword"});
+  const std::string pc = h.name({"pc", "prog_counter", "ip"});
+  const std::string result = h.name({"result", "wb_value", "retire_val"});
+  const std::string mod = h.name({"mips_pipeline", "pl_mips", "mips_5s"});
+  std::ostringstream os;
+  os << alu_core_module(h, core);
+  os << format(
+      "module %s (clk, rst, %s, %s, %s);\n"
+      "  input clk;\n  input rst;\n  input [15:0] %s;\n"
+      "  output reg [7:0] %s;\n  output [7:0] %s;\n",
+      mod.c_str(), instr.c_str(), pc.c_str(), result.c_str(), instr.c_str(),
+      pc.c_str(), result.c_str());
+  os << "  reg [7:0] r0, r1, r2, r3;\n"
+        "  reg [15:0] ifid_ir;\n"
+        "  reg [7:0] idex_a, idex_b;\n  reg [2:0] idex_ctl;\n"
+        "  reg [1:0] idex_rd;\n  reg idex_we;\n"
+        "  reg [7:0] exwb_res;\n  reg [1:0] exwb_rd;\n  reg exwb_we;\n";
+  os << "  wire [3:0] opcode;\n  wire [1:0] rd, rs, rt;\n  wire [3:0] imm;\n"
+        "  assign opcode = ifid_ir[15:12];\n"
+        "  assign rd = ifid_ir[11:10];\n"
+        "  assign rs = ifid_ir[9:8];\n"
+        "  assign rt = ifid_ir[7:6];\n"
+        "  assign imm = ifid_ir[7:4];\n";
+  os << format("  wire [7:0] rs_val;\n  assign rs_val = %s;\n",
+               regread("rs", "r0", "r1", "r2", "r3").c_str());
+  os << format("  wire [7:0] rt_val;\n  assign rt_val = %s;\n",
+               regread("rt", "r0", "r1", "r2", "r3").c_str());
+  os << "  wire use_imm;\n  assign use_imm = (opcode == 4'h8);\n"
+        "  wire [7:0] alu_res;\n  wire zf, nf, cf;\n"
+        "  reg [2:0] flags_q;\n";
+  os << format(
+      "  %s u_alu (.op1(idex_a), .op2(idex_b), .ctl(idex_ctl), .res(alu_res),"
+      " .zf(zf), .nf(nf), .cf(cf));\n",
+      core.c_str());
+  os << format(
+      "  always @(posedge clk) begin\n"
+      "    if (rst) begin\n"
+      "      %s <= 8'h00;\n      ifid_ir <= 16'hF000;\n"
+      "      idex_a <= 8'h00;\n      idex_b <= 8'h00;\n"
+      "      idex_ctl <= 3'b000;\n      idex_rd <= 2'b00;\n"
+      "      idex_we <= 1'b0;\n      exwb_res <= 8'h00;\n"
+      "      exwb_rd <= 2'b00;\n      exwb_we <= 1'b0;\n"
+      "      r0 <= 8'h00;\n      r1 <= 8'h00;\n      r2 <= 8'h00;\n"
+      "      r3 <= 8'h00;\n"
+      "    end else begin\n"
+      "      %s <= %s + 8'h01;\n"
+      "      ifid_ir <= %s;\n"
+      "      idex_a <= rs_val;\n"
+      "      idex_b <= use_imm ? {4'b0000, imm} : rt_val;\n"
+      "      idex_ctl <= use_imm ? 3'b000 : opcode[2:0];\n"
+      "      idex_rd <= rd;\n"
+      "      idex_we <= (opcode != 4'hF) & (opcode != 4'hA);\n"
+      "      exwb_res <= alu_res;\n"
+      "      exwb_rd <= idex_rd;\n"
+      "      exwb_we <= idex_we;\n"
+      "      flags_q <= {cf, nf, zf};\n"
+      "      if (exwb_we) begin\n"
+      "        case (exwb_rd)\n"
+      "          2'b00: r0 <= exwb_res;\n"
+      "          2'b01: r1 <= exwb_res;\n"
+      "          2'b10: r2 <= exwb_res;\n"
+      "          default: r3 <= exwb_res;\n"
+      "        endcase\n"
+      "      end\n"
+      "    end\n"
+      "  end\n",
+      pc.c_str(), pc.c_str(), pc.c_str(), instr.c_str());
+  os << format("  assign %s = exwb_res;\n", result.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// mips_multicycle — FSM-sequenced core (fetch/decode/execute/writeback).
+// ---------------------------------------------------------------------------
+std::string gen_mips_multicycle(const RtlVariant& v) {
+  VariantHelper h(v);
+  const std::string core = h.name({"alu_core", "alu8_core", "alu_inner"});
+  const std::string instr = h.name({"instr", "insn", "iword"});
+  const std::string pc = h.name({"pc", "prog_counter", "ip"});
+  const std::string result = h.name({"result", "alu_out_r", "mc_result"});
+  const std::string mod = h.name({"mips_multi", "mc_mips", "mips_fsm"});
+  std::ostringstream os;
+  os << alu_core_module(h, core);
+  os << format(
+      "module %s (clk, rst, %s, %s, %s);\n"
+      "  input clk;\n  input rst;\n  input [15:0] %s;\n"
+      "  output reg [7:0] %s;\n  output [7:0] %s;\n",
+      mod.c_str(), instr.c_str(), pc.c_str(), result.c_str(), instr.c_str(),
+      pc.c_str(), result.c_str());
+  os << "  reg [7:0] r0, r1, r2, r3;\n"
+        "  reg [1:0] state;\n"
+        "  reg [15:0] ir;\n"
+        "  reg [7:0] areg, breg, alu_out_q;\n";
+  os << "  wire [3:0] opcode;\n  wire [1:0] rd, rs, rt;\n  wire [3:0] imm;\n"
+        "  assign opcode = ir[15:12];\n"
+        "  assign rd = ir[11:10];\n"
+        "  assign rs = ir[9:8];\n"
+        "  assign rt = ir[7:6];\n"
+        "  assign imm = ir[7:4];\n";
+  os << format("  wire [7:0] rs_val;\n  assign rs_val = %s;\n",
+               regread("rs", "r0", "r1", "r2", "r3").c_str());
+  os << format("  wire [7:0] rt_val;\n  assign rt_val = %s;\n",
+               regread("rt", "r0", "r1", "r2", "r3").c_str());
+  os << "  wire use_imm;\n  assign use_imm = (opcode == 4'h8);\n"
+        "  wire [7:0] alu_res;\n  wire zf, nf, cf;\n"
+        "  wire [2:0] alu_ctl;\n"
+        "  assign alu_ctl = use_imm ? 3'b000 : opcode[2:0];\n"
+        "  wire [7:0] opb;\n"
+        "  assign opb = use_imm ? {4'b0000, imm} : breg;\n"
+        "  reg [2:0] status;\n";
+  os << format(
+      "  %s u_alu (.op1(areg), .op2(opb), .ctl(alu_ctl), .res(alu_res), "
+      ".zf(zf), .nf(nf), .cf(cf));\n",
+      core.c_str());
+  os << format(
+      "  always @(posedge clk) begin\n"
+      "    if (rst) begin\n"
+      "      state <= 2'b00;\n      %s <= 8'h00;\n      ir <= 16'hF000;\n"
+      "      areg <= 8'h00;\n      breg <= 8'h00;\n      alu_out_q <= "
+      "8'h00;\n"
+      "      r0 <= 8'h00;\n      r1 <= 8'h00;\n      r2 <= 8'h00;\n"
+      "      r3 <= 8'h00;\n"
+      "    end else begin\n"
+      "      case (state)\n"
+      "        2'b00: begin\n"
+      "          ir <= %s;\n"
+      "          %s <= %s + 8'h01;\n"
+      "          state <= 2'b01;\n"
+      "        end\n"
+      "        2'b01: begin\n"
+      "          areg <= rs_val;\n"
+      "          breg <= rt_val;\n"
+      "          state <= 2'b10;\n"
+      "        end\n"
+      "        2'b10: begin\n"
+      "          alu_out_q <= alu_res;\n"
+      "          status <= {cf, nf, zf};\n"
+      "          state <= 2'b11;\n"
+      "        end\n"
+      "        default: begin\n"
+      "          if ((opcode != 4'hF) & (opcode != 4'hA)) begin\n"
+      "            case (rd)\n"
+      "              2'b00: r0 <= alu_out_q;\n"
+      "              2'b01: r1 <= alu_out_q;\n"
+      "              2'b10: r2 <= alu_out_q;\n"
+      "              default: r3 <= alu_out_q;\n"
+      "            endcase\n"
+      "          end\n"
+      "          if (((opcode == 4'hA) & status[0]) |\n"
+      "              ((opcode == 4'hB) & status[1])) %s <= %s + {4'b0000, "
+      "imm};\n"
+      "          state <= 2'b00;\n"
+      "        end\n"
+      "      endcase\n"
+      "    end\n"
+      "  end\n",
+      pc.c_str(), instr.c_str(), pc.c_str(), pc.c_str(), pc.c_str(),
+      pc.c_str());
+  os << format("  assign %s = alu_out_q;\n", result.c_str());
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace gnn4ip::data

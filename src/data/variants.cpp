@@ -1,0 +1,32 @@
+#include "data/variants.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace gnn4ip::data {
+
+std::string VariantHelper::name(const std::vector<std::string>& synonyms) {
+  if (synonyms.empty()) return "sig";
+  std::string base = synonyms[pick(synonyms.size())];
+  // A third of the time, add a deterministic suffix so that even
+  // same-synonym picks across variants differ lexically.
+  if (rng_.flip(0.33)) {
+    base += util::format("_%zu", static_cast<std::size_t>(rng_.next_below(8)));
+  }
+  return base;
+}
+
+std::pair<std::string, std::string> VariantHelper::commute(std::string a,
+                                                           std::string b) {
+  if (flip()) return {std::move(b), std::move(a)};
+  return {std::move(a), std::move(b)};
+}
+
+std::string lines(const std::vector<std::string>& statements) {
+  std::ostringstream os;
+  for (const std::string& s : statements) os << s << '\n';
+  return os.str();
+}
+
+}  // namespace gnn4ip::data

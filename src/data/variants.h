@@ -1,0 +1,64 @@
+// Behavior-preserving variation engine for RTL generators.
+//
+// Paper corpus structure: each of 50 designs has several "hardware
+// instances" — codes that differ in style, naming, and structure but
+// implement the same design (the Fig. 1 adder pair is the canonical
+// example). Generators consult a VariantHelper to vary:
+//   * identifier spellings (synonym pools + deterministic suffixes),
+//   * statement order for independent statements,
+//   * expression style (operator form vs ternary vs if/else),
+//   * modularization (flat vs wrapper module).
+// All choices derive from the variant seed, so instances are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gnn4ip::data {
+
+struct RtlVariant {
+  /// Coarse structural style axis; families define 2–4 styles each.
+  int style = 0;
+  /// Fine-grained naming/ordering randomization.
+  std::uint64_t seed = 0;
+};
+
+class VariantHelper {
+ public:
+  explicit VariantHelper(const RtlVariant& variant)
+      : style_(variant.style), rng_(variant.seed * 0x9E3779B97F4A7C15ULL + 1) {}
+
+  [[nodiscard]] int style() const { return style_; }
+
+  /// Pick a spelling for a logical signal: one of the synonyms, possibly
+  /// suffixed. The same call sequence yields the same names for equal
+  /// seeds, so generators call it once per signal and reuse the result.
+  [[nodiscard]] std::string name(const std::vector<std::string>& synonyms);
+
+  /// Deterministic coin flip / die roll for style micro-decisions.
+  [[nodiscard]] bool flip() { return rng_.flip(0.5); }
+  [[nodiscard]] std::size_t pick(std::size_t bound) {
+    return static_cast<std::size_t>(rng_.next_below(bound));
+  }
+
+  /// Randomly permute independent statements.
+  void shuffle_statements(std::vector<std::string>& statements) {
+    rng_.shuffle(statements);
+  }
+
+  /// Swap operand spellings of a commutative operator half the time.
+  [[nodiscard]] std::pair<std::string, std::string> commute(
+      std::string a, std::string b);
+
+ private:
+  int style_;
+  util::Rng rng_;
+};
+
+/// Join statement lines with newlines (convenience for generators).
+[[nodiscard]] std::string lines(const std::vector<std::string>& statements);
+
+}  // namespace gnn4ip::data

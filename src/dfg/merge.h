@@ -1,0 +1,23 @@
+// Phase 4 of the Fig. 2 pipeline: union the per-signal data-flow trees
+// into one graph for the whole design.
+//
+// Signal nodes are shared across trees (keyed by hierarchical name);
+// every operator occurrence becomes its own node; constant literals are
+// shared per spelling. Edges run from consumer to producer, so output
+// signals are the DFG roots and input signals / constants the leaves.
+#pragma once
+
+#include <vector>
+
+#include "dfg/dataflow.h"
+#include "graph/digraph.h"
+#include "verilog/ast.h"
+
+namespace gnn4ip::dfg {
+
+/// Merge signal driver trees into the design DFG. `flat` supplies port
+/// directions and net types for classifying signal nodes.
+[[nodiscard]] graph::Digraph merge_drivers(
+    const verilog::Module& flat, const std::vector<SignalDriver>& drivers);
+
+}  // namespace gnn4ip::dfg

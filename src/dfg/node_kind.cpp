@@ -1,0 +1,126 @@
+#include "dfg/node_kind.h"
+
+namespace gnn4ip::dfg {
+
+const char* to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput: return "input";
+    case NodeKind::kOutput: return "output";
+    case NodeKind::kSignal: return "signal";
+    case NodeKind::kRegister: return "register";
+    case NodeKind::kConstant: return "const";
+    case NodeKind::kAdd: return "add";
+    case NodeKind::kSub: return "sub";
+    case NodeKind::kNeg: return "neg";
+    case NodeKind::kMul: return "mul";
+    case NodeKind::kDiv: return "div";
+    case NodeKind::kMod: return "mod";
+    case NodeKind::kPow: return "pow";
+    case NodeKind::kAnd: return "and";
+    case NodeKind::kOr: return "or";
+    case NodeKind::kXor: return "xor";
+    case NodeKind::kXnor: return "xnor";
+    case NodeKind::kNand: return "nand";
+    case NodeKind::kNor: return "nor";
+    case NodeKind::kNot: return "not";
+    case NodeKind::kBuf: return "buf";
+    case NodeKind::kLogAnd: return "land";
+    case NodeKind::kLogOr: return "lor";
+    case NodeKind::kLogNot: return "lnot";
+    case NodeKind::kRedAnd: return "rand";
+    case NodeKind::kRedOr: return "ror";
+    case NodeKind::kRedXor: return "rxor";
+    case NodeKind::kRedNand: return "rnand";
+    case NodeKind::kRedNor: return "rnor";
+    case NodeKind::kRedXnor: return "rxnor";
+    case NodeKind::kEq: return "eq";
+    case NodeKind::kNeq: return "neq";
+    case NodeKind::kLt: return "lt";
+    case NodeKind::kLe: return "le";
+    case NodeKind::kGt: return "gt";
+    case NodeKind::kGe: return "ge";
+    case NodeKind::kShl: return "shl";
+    case NodeKind::kShr: return "shr";
+    case NodeKind::kConcat: return "concat";
+    case NodeKind::kRepeat: return "repeat";
+    case NodeKind::kBitSelect: return "bitsel";
+    case NodeKind::kPartSelect: return "partsel";
+    case NodeKind::kMux: return "mux";
+    case NodeKind::kBranch: return "branch";
+    case NodeKind::kCount_: return "?";
+  }
+  return "?";
+}
+
+NodeKind kind_of(verilog::UnaryOp op) {
+  using verilog::UnaryOp;
+  switch (op) {
+    case UnaryOp::kPlus: return NodeKind::kBuf;
+    case UnaryOp::kMinus: return NodeKind::kNeg;
+    case UnaryOp::kBitNot: return NodeKind::kNot;
+    case UnaryOp::kLogNot: return NodeKind::kLogNot;
+    case UnaryOp::kRedAnd: return NodeKind::kRedAnd;
+    case UnaryOp::kRedOr: return NodeKind::kRedOr;
+    case UnaryOp::kRedXor: return NodeKind::kRedXor;
+    case UnaryOp::kRedNand: return NodeKind::kRedNand;
+    case UnaryOp::kRedNor: return NodeKind::kRedNor;
+    case UnaryOp::kRedXnor: return NodeKind::kRedXnor;
+  }
+  return NodeKind::kBuf;
+}
+
+NodeKind kind_of(verilog::BinaryOp op) {
+  using verilog::BinaryOp;
+  switch (op) {
+    case BinaryOp::kAdd: return NodeKind::kAdd;
+    case BinaryOp::kSub: return NodeKind::kSub;
+    case BinaryOp::kMul: return NodeKind::kMul;
+    case BinaryOp::kDiv: return NodeKind::kDiv;
+    case BinaryOp::kMod: return NodeKind::kMod;
+    case BinaryOp::kPow: return NodeKind::kPow;
+    case BinaryOp::kBitAnd: return NodeKind::kAnd;
+    case BinaryOp::kBitOr: return NodeKind::kOr;
+    case BinaryOp::kBitXor: return NodeKind::kXor;
+    case BinaryOp::kBitXnor: return NodeKind::kXnor;
+    case BinaryOp::kLogAnd: return NodeKind::kLogAnd;
+    case BinaryOp::kLogOr: return NodeKind::kLogOr;
+    case BinaryOp::kEq: case BinaryOp::kCaseEq: return NodeKind::kEq;
+    case BinaryOp::kNeq: case BinaryOp::kCaseNeq: return NodeKind::kNeq;
+    case BinaryOp::kLt: return NodeKind::kLt;
+    case BinaryOp::kLe: return NodeKind::kLe;
+    case BinaryOp::kGt: return NodeKind::kGt;
+    case BinaryOp::kGe: return NodeKind::kGe;
+    case BinaryOp::kShl: case BinaryOp::kAShl: return NodeKind::kShl;
+    case BinaryOp::kShr: case BinaryOp::kAShr: return NodeKind::kShr;
+  }
+  return NodeKind::kAdd;
+}
+
+NodeKind kind_of_gate(const std::string& gate_type,
+                      verilog::SourceLocation loc) {
+  if (gate_type == "and") return NodeKind::kAnd;
+  if (gate_type == "or") return NodeKind::kOr;
+  if (gate_type == "xor") return NodeKind::kXor;
+  if (gate_type == "xnor") return NodeKind::kXnor;
+  if (gate_type == "nand") return NodeKind::kNand;
+  if (gate_type == "nor") return NodeKind::kNor;
+  if (gate_type == "not") return NodeKind::kNot;
+  if (gate_type == "buf") return NodeKind::kBuf;
+  throw verilog::ParseError("unknown gate primitive '" + gate_type + "'",
+                            loc);
+}
+
+bool is_signal_kind(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput:
+    case NodeKind::kOutput:
+    case NodeKind::kSignal:
+    case NodeKind::kRegister:
+    case NodeKind::kConstant:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace gnn4ip::dfg

@@ -1,0 +1,65 @@
+// Node vocabulary of the hardware data-flow graph.
+//
+// Each DFG vertex "represents a signal, constant value, or operations
+// such as concatenation, branch, Boolean operators, etc." (paper §III-B).
+// The enum doubles as the one-hot feature index for the GNN: hw2vec
+// initializes node embedding X⁽⁰⁾ᵢ as the one-hot vector of the node's
+// vocabulary entry.
+#pragma once
+
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace gnn4ip::dfg {
+
+enum class NodeKind : int {
+  // Signal categories.
+  kInput = 0,
+  kOutput,
+  kSignal,    // internal wire
+  kRegister,  // sequential element
+  kConstant,
+  // Arithmetic.
+  kAdd, kSub, kNeg, kMul, kDiv, kMod, kPow,
+  // Bitwise / gate-level.
+  kAnd, kOr, kXor, kXnor, kNand, kNor, kNot, kBuf,
+  // Logical.
+  kLogAnd, kLogOr, kLogNot,
+  // Reductions.
+  kRedAnd, kRedOr, kRedXor, kRedNand, kRedNor, kRedXnor,
+  // Relational.
+  kEq, kNeq, kLt, kLe, kGt, kGe,
+  // Shifts.
+  kShl, kShr,
+  // Structural.
+  kConcat, kRepeat, kBitSelect, kPartSelect,
+  // Control merge points.
+  kMux,     // ternary / if-else merge
+  kBranch,  // case merge
+  kCount_,  // sentinel: vocabulary size
+};
+
+/// Vocabulary size (one-hot feature dimension).
+inline constexpr int kNodeKindCount = static_cast<int>(NodeKind::kCount_);
+
+[[nodiscard]] const char* to_string(NodeKind kind);
+
+/// Mapping from AST operators to DFG vocabulary entries.
+[[nodiscard]] NodeKind kind_of(verilog::UnaryOp op);
+[[nodiscard]] NodeKind kind_of(verilog::BinaryOp op);
+
+/// Mapping from gate primitive names ("and", "nor", ...). Throws
+/// verilog::ParseError for unknown gates.
+[[nodiscard]] NodeKind kind_of_gate(const std::string& gate_type,
+                                    verilog::SourceLocation loc);
+
+/// True for the signal-category kinds (kInput..kConstant).
+[[nodiscard]] bool is_signal_kind(NodeKind kind);
+
+/// True for operator kinds (everything that is not a signal category).
+[[nodiscard]] inline bool is_operator_kind(NodeKind kind) {
+  return !is_signal_kind(kind);
+}
+
+}  // namespace gnn4ip::dfg

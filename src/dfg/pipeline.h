@@ -1,0 +1,39 @@
+// End-to-end DFG generation pipeline (Fig. 2 of the paper):
+//   preprocess → parse HDL → data-flow analysis → merge graphs → trim.
+//
+// Works for both RTL code and gate-level netlists in Verilog format.
+#pragma once
+
+#include <string>
+
+#include "dfg/trim.h"
+#include "graph/digraph.h"
+#include "verilog/preprocess.h"
+
+namespace gnn4ip::dfg {
+
+struct PipelineOptions {
+  /// Top module name; empty = infer (unique uninstantiated module).
+  std::string top;
+  verilog::PreprocessOptions preprocess;
+  bool run_trim = true;
+  TrimOptions trim;
+};
+
+/// Extract the final DFG for a Verilog source buffer. Throws
+/// verilog::ParseError on malformed input.
+[[nodiscard]] graph::Digraph extract_dfg(const std::string& verilog_source,
+                                         const PipelineOptions& options = {});
+
+/// Summary counters useful for Table-I style reporting.
+struct DfgSummary {
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  std::size_t num_inputs = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_operators = 0;
+};
+
+[[nodiscard]] DfgSummary summarize(const graph::Digraph& g);
+
+}  // namespace gnn4ip::dfg

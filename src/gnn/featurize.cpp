@@ -1,0 +1,65 @@
+#include "gnn/featurize.h"
+
+#include <cmath>
+#include <set>
+
+#include "dfg/node_kind.h"
+#include "util/contract.h"
+
+namespace gnn4ip::gnn {
+
+std::shared_ptr<const tensor::Csr> normalized_adjacency(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    bool symmetrize) {
+  GNN4IP_ENSURE(num_nodes > 0, "normalized_adjacency on empty graph");
+  // Deduplicate structural entries of Â.
+  std::set<std::pair<std::size_t, std::size_t>> entries;
+  for (std::size_t v = 0; v < num_nodes; ++v) entries.insert({v, v});
+  for (const auto& [src, dst] : edges) {
+    GNN4IP_ENSURE(src < num_nodes && dst < num_nodes,
+                  "edge endpoint out of range");
+    entries.insert({src, dst});
+    if (symmetrize) entries.insert({dst, src});
+  }
+  // Degrees of Â.
+  std::vector<float> degree(num_nodes, 0.0F);
+  for (const auto& [r, c] : entries) degree[r] += 1.0F;
+  std::vector<float> inv_sqrt(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    inv_sqrt[v] = 1.0F / std::sqrt(degree[v]);
+  }
+  std::vector<tensor::Triplet> triplets;
+  triplets.reserve(entries.size());
+  for (const auto& [r, c] : entries) {
+    triplets.push_back({r, c, inv_sqrt[r] * inv_sqrt[c]});
+  }
+  return std::make_shared<tensor::Csr>(
+      tensor::Csr::from_triplets(num_nodes, num_nodes, std::move(triplets)));
+}
+
+GraphTensors featurize(const graph::Digraph& g,
+                       const FeaturizeOptions& options) {
+  GNN4IP_ENSURE(g.num_nodes() > 0, "featurize on empty graph");
+  GraphTensors t;
+  t.num_nodes = g.num_nodes();
+  t.symmetrize = options.symmetrize;
+  t.x = tensor::Matrix(g.num_nodes(), dfg::kNodeKindCount);
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const int kind = g.node(static_cast<graph::NodeId>(v)).kind;
+    GNN4IP_ENSURE(kind >= 0 && kind < dfg::kNodeKindCount,
+                  "node kind outside DFG vocabulary");
+    t.x.at(v, static_cast<std::size_t>(kind)) = 1.0F;
+  }
+  std::set<std::pair<std::size_t, std::size_t>> dedup;
+  for (const auto& [src, dst] : g.edges()) {
+    if (src == dst) continue;  // self-loops are re-added by normalization
+    dedup.insert({static_cast<std::size_t>(src),
+                  static_cast<std::size_t>(dst)});
+  }
+  t.edges.assign(dedup.begin(), dedup.end());
+  t.adj = normalized_adjacency(t.num_nodes, t.edges, options.symmetrize);
+  return t;
+}
+
+}  // namespace gnn4ip::gnn

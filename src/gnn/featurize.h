@@ -1,0 +1,46 @@
+// Conversion of a DFG into GNN tensors: one-hot node features X⁽⁰⁾
+// (node kind vocabulary, paper §III-C "directly converting the node's
+// name to its corresponding one-hot vector") and the symmetric-normalized
+// adjacency D̂^{-1/2} Â D̂^{-1/2} with Â = A + I of Eq. 5.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+
+namespace gnn4ip::gnn {
+
+struct FeaturizeOptions {
+  /// Treat edges as undirected for message propagation (Â gains both
+  /// directions). GCN's spectral derivation assumes symmetric adjacency;
+  /// disabling restricts propagation to consumer→producer direction.
+  bool symmetrize = true;
+};
+
+/// Tensors for one graph. `edges` is the (deduplicated, self-loop-free)
+/// directed edge list used to rebuild pooled adjacencies after top-k
+/// filtering.
+struct GraphTensors {
+  tensor::Matrix x;  // N × kNodeKindCount
+  std::shared_ptr<const tensor::Csr> adj;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::size_t num_nodes = 0;
+  bool symmetrize = true;
+};
+
+/// Build tensors from a DFG whose node kinds are dfg::NodeKind values.
+[[nodiscard]] GraphTensors featurize(const graph::Digraph& g,
+                                     const FeaturizeOptions& options = {});
+
+/// Â = A (+ Aᵀ if symmetrize) + I, normalized D̂^{-1/2} Â D̂^{-1/2}.
+/// Exposed separately because SAGPool re-normalizes induced subgraphs.
+[[nodiscard]] std::shared_ptr<const tensor::Csr> normalized_adjacency(
+    std::size_t num_nodes,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    bool symmetrize);
+
+}  // namespace gnn4ip::gnn

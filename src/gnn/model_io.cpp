@@ -1,0 +1,98 @@
+#include "gnn/model_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gnn4ip::gnn {
+namespace {
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw std::runtime_error("malformed hw2vec-model stream: " + detail);
+}
+
+}  // namespace
+
+void save_model(std::ostream& os, Hw2Vec& model) {
+  const Hw2VecConfig& c = model.config();
+  os << "hw2vec-model v1\n";
+  os << "config " << c.input_dim << ' ' << c.hidden_dim << ' '
+     << c.num_layers << ' ' << c.pool_ratio << ' ' << to_string(c.readout)
+     << ' ' << c.dropout << ' ' << (c.symmetrize_adjacency ? 1 : 0) << '\n';
+  for (tensor::Parameter* p : model.parameters()) {
+    os << "param " << p->value.rows() << ' ' << p->value.cols() << '\n';
+    for (std::size_t r = 0; r < p->value.rows(); ++r) {
+      const auto row = p->value.row(r);
+      for (std::size_t cidx = 0; cidx < row.size(); ++cidx) {
+        if (cidx != 0) os << ' ';
+        os << row[cidx];
+      }
+      os << '\n';
+    }
+  }
+}
+
+void save_model_file(const std::string& path, Hw2Vec& model) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  os.precision(9);
+  save_model(os, model);
+}
+
+Hw2Vec load_model(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "hw2vec-model v1") {
+    malformed("missing header");
+  }
+  if (!std::getline(is, line)) malformed("missing config");
+  Hw2VecConfig config;
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    std::string readout_name;
+    int symmetrize = 1;
+    if (!(ls >> tag >> config.input_dim >> config.hidden_dim >>
+          config.num_layers >> config.pool_ratio >> readout_name >>
+          config.dropout >> symmetrize) ||
+        tag != "config") {
+      malformed("bad config line");
+    }
+    config.readout = readout_from_string(readout_name);
+    config.symmetrize_adjacency = symmetrize != 0;
+  }
+  Hw2Vec model(config);
+  for (tensor::Parameter* p : model.parameters()) {
+    if (!std::getline(is, line)) malformed("missing param block");
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    if (!(ls >> tag >> rows >> cols) || tag != "param") {
+      malformed("bad param line");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      malformed("param shape mismatch against config");
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (!std::getline(is, line)) malformed("truncated param rows");
+      std::istringstream vs(line);
+      auto row = p->value.row(r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        if (!(vs >> row[c])) malformed("truncated param row");
+      }
+    }
+  }
+  return model;
+}
+
+Hw2Vec load_model_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open '" + path + "' for reading");
+  }
+  return load_model(is);
+}
+
+}  // namespace gnn4ip::gnn

@@ -1,0 +1,27 @@
+// Weight (de)serialization for hw2vec models.
+//
+// Text format (line oriented, locale-independent):
+//   hw2vec-model v1
+//   config <input_dim> <hidden_dim> <num_layers> <pool_ratio> <readout>
+//          <dropout> <symmetrize>
+//   param <rows> <cols>
+//   <row values...>            (rows lines)
+//   ... one param block per parameter, in Hw2Vec::parameters() order
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gnn/hw2vec.h"
+
+namespace gnn4ip::gnn {
+
+void save_model(std::ostream& os, Hw2Vec& model);
+void save_model_file(const std::string& path, Hw2Vec& model);
+
+/// Reconstructs the model (config + weights). Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] Hw2Vec load_model(std::istream& is);
+[[nodiscard]] Hw2Vec load_model_file(const std::string& path);
+
+}  // namespace gnn4ip::gnn

@@ -1,0 +1,33 @@
+#include "gnn/readout.h"
+
+#include <stdexcept>
+
+namespace gnn4ip::gnn {
+
+const char* to_string(Readout r) {
+  switch (r) {
+    case Readout::kSum: return "sum";
+    case Readout::kMean: return "mean";
+    case Readout::kMax: return "max";
+  }
+  return "?";
+}
+
+Readout readout_from_string(const std::string& name) {
+  if (name == "sum") return Readout::kSum;
+  if (name == "mean") return Readout::kMean;
+  if (name == "max") return Readout::kMax;
+  throw std::invalid_argument("unknown readout '" + name +
+                              "' (expected sum|mean|max)");
+}
+
+tensor::Var apply_readout(tensor::Tape& tape, tensor::Var x, Readout readout) {
+  switch (readout) {
+    case Readout::kSum: return tape.readout_sum(x);
+    case Readout::kMean: return tape.readout_mean(x);
+    case Readout::kMax: return tape.readout_max(x);
+  }
+  return tape.readout_max(x);
+}
+
+}  // namespace gnn4ip::gnn

@@ -1,0 +1,73 @@
+#include "gnn/sag_pool.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gnn/featurize.h"
+#include "util/contract.h"
+
+namespace gnn4ip::gnn {
+
+SagPool::SagPool(std::size_t dim, float ratio, util::Rng& rng)
+    : scorer_(dim, 1, rng), ratio_(ratio) {
+  GNN4IP_ENSURE(ratio > 0.0F && ratio <= 1.0F,
+                "pooling ratio must be in (0, 1]");
+}
+
+SagPool::Result SagPool::forward(
+    tensor::Tape& tape, std::shared_ptr<const tensor::Csr> adj,
+    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    tensor::Var x, bool symmetrize) {
+  const std::size_t n = x.value().rows();
+  GNN4IP_ENSURE(n > 0, "SagPool on empty graph");
+
+  // α = SCORE(X, A): one-channel GCN, no ReLU (gate activation is tanh).
+  tensor::Var alpha = scorer_.forward(tape, adj, x, /*apply_relu=*/false);
+  tensor::Var gate = tape.tanh_op(alpha);
+
+  // Top-k selection on the raw scores (selection itself is
+  // non-differentiable; gradients flow through the tanh gate).
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(ratio_ * static_cast<float>(n))));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const tensor::Matrix& scores = alpha.value();
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores.at(a, 0) > scores.at(b, 0);
+                   });
+  std::vector<std::size_t> kept(order.begin(),
+                                order.begin() + static_cast<long>(k));
+  // Preserve original node order within the pooled graph so pooled
+  // adjacency construction is deterministic.
+  std::sort(kept.begin(), kept.end());
+
+  // Gather and gate the surviving rows.
+  tensor::Var x_kept = tape.select_rows(x, kept);
+  tensor::Var gate_kept = tape.select_rows(gate, kept);
+  tensor::Var x_pool = tape.scale_rows(x_kept, gate_kept);
+
+  // Re-induce edges on the kept set and re-normalize.
+  std::vector<std::size_t> remap(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < kept.size(); ++i) remap[kept[i]] = i;
+  std::vector<std::pair<std::size_t, std::size_t>> pooled_edges;
+  for (const auto& [src, dst] : edges) {
+    const std::size_t s = remap[src];
+    const std::size_t d = remap[dst];
+    if (s != static_cast<std::size_t>(-1) &&
+        d != static_cast<std::size_t>(-1)) {
+      pooled_edges.emplace_back(s, d);
+    }
+  }
+
+  Result result;
+  result.x = x_pool;
+  result.adj = normalized_adjacency(kept.size(), pooled_edges, symmetrize);
+  result.edges = std::move(pooled_edges);
+  result.kept = std::move(kept);
+  return result;
+}
+
+}  // namespace gnn4ip::gnn

@@ -1,0 +1,46 @@
+// Self-attention graph pooling (Lee et al. [28], paper §III-C).
+//
+// A single-output GCN predicts a score per node:
+//   α = SCORE(X_prop, A_prop)
+// The top ⌈ratio·N⌉ nodes by α are kept; the surviving node features are
+// gated by tanh(α) so the scorer receives gradient, and the adjacency is
+// re-induced on the kept nodes and re-normalized.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gnn/gcn_layer.h"
+#include "tensor/tape.h"
+
+namespace gnn4ip::gnn {
+
+class SagPool {
+ public:
+  /// `dim` is the node-embedding width entering the pool; `ratio` the
+  /// keep fraction in (0, 1].
+  SagPool(std::size_t dim, float ratio, util::Rng& rng);
+
+  struct Result {
+    tensor::Var x;                               // pooled node embeddings
+    std::shared_ptr<const tensor::Csr> adj;      // pooled, re-normalized
+    std::vector<std::pair<std::size_t, std::size_t>> edges;  // pooled edges
+    std::vector<std::size_t> kept;               // original node indices
+  };
+
+  [[nodiscard]] Result forward(
+      tensor::Tape& tape, std::shared_ptr<const tensor::Csr> adj,
+      const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+      tensor::Var x, bool symmetrize);
+
+  [[nodiscard]] GcnLayer& scorer() { return scorer_; }
+  [[nodiscard]] const GcnLayer& scorer() const { return scorer_; }
+  [[nodiscard]] float ratio() const { return ratio_; }
+
+ private:
+  GcnLayer scorer_;
+  float ratio_;
+};
+
+}  // namespace gnn4ip::gnn

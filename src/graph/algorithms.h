@@ -1,0 +1,43 @@
+// Graph algorithms used by the DFG trim pass, the baseline similarity
+// methods, and test invariants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gnn4ip::graph {
+
+/// Weakly-connected component label per node (labels are 0-based,
+/// contiguous, ordered by first-seen node).
+[[nodiscard]] std::vector<int> weakly_connected_components(const Digraph& g);
+
+/// Number of weakly-connected components.
+[[nodiscard]] int num_weak_components(const Digraph& g);
+
+enum class Direction { kForward, kBackward };
+
+/// Nodes reachable from `roots` following out-edges (kForward) or
+/// in-edges (kBackward); includes the roots themselves.
+[[nodiscard]] std::vector<bool> reachable(const Digraph& g,
+                                          const std::vector<NodeId>& roots,
+                                          Direction dir);
+
+/// True if the graph has a directed cycle (self-loops count).
+[[nodiscard]] bool has_cycle(const Digraph& g);
+
+/// Topological order (throws util::ContractViolation if cyclic).
+[[nodiscard]] std::vector<NodeId> topological_order(const Digraph& g);
+
+/// Deterministic structural hash: invariant under node renaming but
+/// sensitive to kinds and wiring (1-WL style color refinement, `rounds`
+/// iterations). Used in tests to check that behavior-preserving source
+/// transforms still change/preserve what we expect, and by the dataset
+/// builder to detect accidentally identical instances.
+[[nodiscard]] std::uint64_t structural_hash(const Digraph& g, int rounds = 3);
+
+/// Histogram of node kinds, indexed by kind id (size = max kind + 1).
+[[nodiscard]] std::vector<int> kind_histogram(const Digraph& g);
+
+}  // namespace gnn4ip::graph

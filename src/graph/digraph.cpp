@@ -1,0 +1,131 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::graph {
+
+NodeId Digraph::add_node(std::string name, int kind) {
+  nodes_.push_back(Node{std::move(name), kind});
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Digraph::check_id(NodeId id) const {
+  GNN4IP_ENSURE(valid(id),
+                util::format("node id %d out of range [0, %zu)", id,
+                             nodes_.size()));
+}
+
+void Digraph::add_edge(NodeId src, NodeId dst, bool allow_self_loop) {
+  check_id(src);
+  check_id(dst);
+  if (src == dst && !allow_self_loop) return;
+  if (has_edge(src, dst)) return;
+  out_[static_cast<std::size_t>(src)].push_back(dst);
+  in_[static_cast<std::size_t>(dst)].push_back(src);
+  ++num_edges_;
+}
+
+bool Digraph::has_edge(NodeId src, NodeId dst) const {
+  check_id(src);
+  check_id(dst);
+  const auto& row = out_[static_cast<std::size_t>(src)];
+  return std::find(row.begin(), row.end(), dst) != row.end();
+}
+
+const Node& Digraph::node(NodeId id) const {
+  check_id(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Digraph::node(NodeId id) {
+  check_id(id);
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::span<const NodeId> Digraph::out_neighbors(NodeId id) const {
+  check_id(id);
+  return out_[static_cast<std::size_t>(id)];
+}
+
+std::span<const NodeId> Digraph::in_neighbors(NodeId id) const {
+  check_id(id);
+  return in_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> result;
+  result.reserve(num_edges_);
+  for (std::size_t s = 0; s < out_.size(); ++s) {
+    for (NodeId d : out_[s]) {
+      result.emplace_back(static_cast<NodeId>(s), d);
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Digraph::remove_nodes(const std::vector<NodeId>& to_remove) {
+  std::vector<bool> removed(nodes_.size(), false);
+  for (NodeId id : to_remove) {
+    check_id(id);
+    removed[static_cast<std::size_t>(id)] = true;
+  }
+  std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+  NodeId next = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!removed[i]) remap[i] = next++;
+  }
+
+  Digraph rebuilt;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!removed[i]) {
+      rebuilt.add_node(std::move(nodes_[i].name), nodes_[i].kind);
+    }
+  }
+  for (std::size_t s = 0; s < out_.size(); ++s) {
+    if (removed[s]) continue;
+    for (NodeId d : out_[s]) {
+      if (!removed[static_cast<std::size_t>(d)]) {
+        rebuilt.add_edge(remap[s], remap[static_cast<std::size_t>(d)]);
+      }
+    }
+  }
+  *this = std::move(rebuilt);
+  return remap;
+}
+
+Digraph Digraph::induced_subgraph(const std::vector<NodeId>& keep) const {
+  std::vector<NodeId> remap(nodes_.size(), kInvalidNode);
+  Digraph sub;
+  for (std::size_t pos = 0; pos < keep.size(); ++pos) {
+    const NodeId id = keep[pos];
+    check_id(id);
+    GNN4IP_ENSURE(remap[static_cast<std::size_t>(id)] == kInvalidNode,
+                  "duplicate node in induced_subgraph keep list");
+    remap[static_cast<std::size_t>(id)] =
+        sub.add_node(nodes_[static_cast<std::size_t>(id)].name,
+                     nodes_[static_cast<std::size_t>(id)].kind);
+  }
+  for (NodeId src : keep) {
+    for (NodeId dst : out_[static_cast<std::size_t>(src)]) {
+      const NodeId new_dst = remap[static_cast<std::size_t>(dst)];
+      if (new_dst != kInvalidNode) {
+        sub.add_edge(remap[static_cast<std::size_t>(src)], new_dst);
+      }
+    }
+  }
+  return sub;
+}
+
+NodeId Digraph::find_by_name(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  }
+  return kInvalidNode;
+}
+
+}  // namespace gnn4ip::graph

@@ -1,0 +1,27 @@
+// Graph import/export: GraphViz DOT for human inspection and a simple
+// line-oriented text format for persisting extracted DFGs between runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace gnn4ip::graph {
+
+/// Render as GraphViz DOT; node labels are "name : kind".
+[[nodiscard]] std::string to_dot(const Digraph& g,
+                                 const std::string& graph_name = "dfg");
+
+/// Text format:
+///   gnn4ip-graph v1
+///   nodes <n>
+///   <kind> <name>        (n lines; name may contain no newline)
+///   edges <m>
+///   <src> <dst>          (m lines)
+void write_text(std::ostream& os, const Digraph& g);
+
+/// Parse the text format; throws std::runtime_error on malformed input.
+[[nodiscard]] Digraph read_text(std::istream& is);
+
+}  // namespace gnn4ip::graph

@@ -1,0 +1,106 @@
+#include "tensor/csr.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/contract.h"
+
+namespace gnn4ip::tensor {
+
+Csr Csr::from_triplets(std::size_t rows, std::size_t cols,
+                       std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    GNN4IP_ENSURE(t.row < rows && t.col < cols,
+                  "triplet index out of range");
+  }
+  // Sum duplicates via ordered map keyed by (row, col).
+  std::map<std::pair<std::size_t, std::size_t>, float> cells;
+  for (const Triplet& t : triplets) {
+    cells[{t.row, t.col}] += t.value;
+  }
+
+  Csr s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+  s.row_offsets_.assign(rows + 1, 0);
+  for (const auto& [rc, v] : cells) {
+    ++s.row_offsets_[rc.first + 1];
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    s.row_offsets_[r + 1] += s.row_offsets_[r];
+  }
+  s.col_indices_.resize(cells.size());
+  s.values_.resize(cells.size());
+  {
+    std::size_t i = 0;
+    for (const auto& [rc, v] : cells) {
+      s.col_indices_[i] = rc.second;
+      s.values_[i] = v;
+      ++i;
+    }
+  }
+
+  // Eager transpose (CSC of the original = CSR of the transpose).
+  s.t_row_offsets_.assign(cols + 1, 0);
+  for (std::size_t c : s.col_indices_) ++s.t_row_offsets_[c + 1];
+  for (std::size_t c = 0; c < cols; ++c) {
+    s.t_row_offsets_[c + 1] += s.t_row_offsets_[c];
+  }
+  s.t_col_indices_.resize(cells.size());
+  s.t_values_.resize(cells.size());
+  std::vector<std::size_t> cursor(s.t_row_offsets_.begin(),
+                                  s.t_row_offsets_.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = s.row_offsets_[r]; k < s.row_offsets_[r + 1]; ++k) {
+      const std::size_t c = s.col_indices_[k];
+      const std::size_t slot = cursor[c]++;
+      s.t_col_indices_[slot] = r;
+      s.t_values_[slot] = s.values_[k];
+    }
+  }
+  return s;
+}
+
+namespace {
+
+Matrix spmm(const std::vector<std::size_t>& offsets,
+            const std::vector<std::size_t>& cols,
+            const std::vector<float>& values, std::size_t out_rows,
+            const Matrix& x) {
+  Matrix y(out_rows, x.cols());
+  for (std::size_t r = 0; r < out_rows; ++r) {
+    const auto y_row = y.row(r);
+    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+      const float v = values[k];
+      const auto x_row = x.row(cols[k]);
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        y_row[j] += v * x_row[j];
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+Matrix Csr::multiply(const Matrix& x) const {
+  GNN4IP_ENSURE(x.rows() == cols_, "spmm shape mismatch");
+  return spmm(row_offsets_, col_indices_, values_, rows_, x);
+}
+
+Matrix Csr::multiply_transposed(const Matrix& x) const {
+  GNN4IP_ENSURE(x.rows() == rows_, "spmmᵀ shape mismatch");
+  return spmm(t_row_offsets_, t_col_indices_, t_values_, cols_, x);
+}
+
+Matrix Csr::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      d.at(r, col_indices_[k]) += values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace gnn4ip::tensor

@@ -1,0 +1,66 @@
+// Compressed-sparse-row matrix with fixed (non-trainable) values.
+//
+// Used for the symmetric-normalized adjacency D̂^{-1/2}ÂD̂^{-1/2} of
+// Eq. 5: the adjacency is a constant of each graph, so only dense
+// operands carry gradients. spmm backward therefore needs Sᵀ·dY, which
+// is served by a cached transpose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4ip::tensor {
+
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  float value = 0.0F;
+};
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from triplets (duplicates are summed).
+  [[nodiscard]] static Csr from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> triplets);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return values_.size(); }
+
+  /// Y = S · X  (dense X with X.rows() == cols()).
+  [[nodiscard]] Matrix multiply(const Matrix& x) const;
+
+  /// Y = Sᵀ · X (dense X with X.rows() == rows()).
+  [[nodiscard]] Matrix multiply_transposed(const Matrix& x) const;
+
+  /// Materialize as dense (tests only; small graphs).
+  [[nodiscard]] Matrix to_dense() const;
+
+  /// Row slice access for iteration.
+  [[nodiscard]] const std::vector<std::size_t>& row_offsets() const {
+    return row_offsets_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& col_indices() const {
+    return col_indices_;
+  }
+  [[nodiscard]] const std::vector<float>& values() const { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_offsets_;  // size rows_+1
+  std::vector<std::size_t> col_indices_;
+  std::vector<float> values_;
+  // Cached transpose in CSR form (same arrays, swapped roles), built
+  // lazily by multiply_transposed via const access — precomputed eagerly
+  // in from_triplets to keep the class immutable after construction.
+  std::vector<std::size_t> t_row_offsets_;
+  std::vector<std::size_t> t_col_indices_;
+  std::vector<float> t_values_;
+};
+
+}  // namespace gnn4ip::tensor

@@ -1,0 +1,82 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::train {
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::size_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::false_negative_rate() const {
+  const std::size_t denom = fn + tp;
+  return denom == 0 ? 0.0 : static_cast<double>(fn) / static_cast<double>(denom);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  return util::format("TP: %zu  FP: %zu  FN: %zu  TN: %zu  (acc %.4f)", tp,
+                      fp, fn, tn, accuracy());
+}
+
+ConfusionMatrix confusion_at(const std::vector<float>& scores,
+                             const std::vector<int>& labels, float delta) {
+  GNN4IP_ENSURE(scores.size() == labels.size(),
+                "scores/labels size mismatch");
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted_piracy = scores[i] > delta;
+    const bool actual_piracy = labels[i] == 1;
+    if (predicted_piracy && actual_piracy) ++cm.tp;
+    if (predicted_piracy && !actual_piracy) ++cm.fp;
+    if (!predicted_piracy && actual_piracy) ++cm.fn;
+    if (!predicted_piracy && !actual_piracy) ++cm.tn;
+  }
+  return cm;
+}
+
+float tune_threshold(const std::vector<float>& scores,
+                     const std::vector<int>& labels) {
+  GNN4IP_ENSURE(!scores.empty(), "tune_threshold on empty scores");
+  std::vector<float> sorted = scores;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  // Candidates: below the minimum, all midpoints, above the maximum.
+  std::vector<float> candidates;
+  candidates.push_back(sorted.front() - 1e-3F);
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    candidates.push_back(0.5F * (sorted[i] + sorted[i + 1]));
+  }
+  candidates.push_back(sorted.back() + 1e-3F);
+  float best_delta = candidates.front();
+  double best_accuracy = -1.0;
+  for (float delta : candidates) {
+    const double acc = confusion_at(scores, labels, delta).accuracy();
+    if (acc > best_accuracy) {
+      best_accuracy = acc;
+      best_delta = delta;
+    }
+  }
+  return best_delta;
+}
+
+}  // namespace gnn4ip::train

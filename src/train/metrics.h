@@ -1,0 +1,39 @@
+// Classification metrics: confusion matrix (Fig. 4a), accuracy (Table I),
+// false-negative rate (§IV-F), and decision-boundary tuning for δ.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gnn4ip::train {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  [[nodiscard]] std::size_t total() const { return tp + fp + fn + tn; }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  /// FN / (FN + TP): the rate the paper compares against watermarking Pc.
+  [[nodiscard]] double false_negative_rate() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Score/label pairs -> confusion matrix at decision boundary `delta`
+/// (scores > delta are predicted piracy). Labels are ±1.
+[[nodiscard]] ConfusionMatrix confusion_at(const std::vector<float>& scores,
+                                           const std::vector<int>& labels,
+                                           float delta);
+
+/// Scan candidate boundaries (all midpoints of sorted scores) and return
+/// the δ with maximal accuracy — "we have tuned the δ to achieve maximum
+/// accuracy" (paper §IV-D).
+[[nodiscard]] float tune_threshold(const std::vector<float>& scores,
+                                   const std::vector<int>& labels);
+
+}  // namespace gnn4ip::train

@@ -1,0 +1,94 @@
+#include "train/optimizer.h"
+
+#include <cmath>
+
+#include "util/contract.h"
+
+namespace gnn4ip::train {
+
+void Optimizer::zero_grad() {
+  for (tensor::Parameter* p : params_) p->zero_grad();
+}
+
+Sgd::Sgd(std::vector<tensor::Parameter*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (tensor::Parameter* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols(), 0.0F);
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::Parameter& p = *params_[i];
+    tensor::Matrix g = p.grad;
+    if (weight_decay_ != 0.0F) g.axpy_in_place(weight_decay_, p.value);
+    if (momentum_ != 0.0F) {
+      velocity_[i].scale_in_place(momentum_);
+      velocity_[i].add_in_place(g);
+      p.value.axpy_in_place(-lr_, velocity_[i]);
+    } else {
+      p.value.axpy_in_place(-lr_, g);
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(std::vector<tensor::Parameter*> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (tensor::Parameter* p : params_) {
+    first_moment_.emplace_back(p->value.rows(), p->value.cols(), 0.0F);
+    second_moment_.emplace_back(p->value.rows(), p->value.cols(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++step_count_;
+  const float bias1 =
+      1.0F - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    tensor::Parameter& p = *params_[i];
+    tensor::Matrix g = p.grad;
+    if (weight_decay_ != 0.0F) g.axpy_in_place(weight_decay_, p.value);
+    auto m = first_moment_[i].data();
+    auto v = second_moment_[i].data();
+    const auto gd = g.data();
+    auto w = p.value.data();
+    for (std::size_t j = 0; j < gd.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * gd[j];
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * gd[j] * gd[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      w[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+    p.zero_grad();
+  }
+}
+
+std::unique_ptr<Optimizer> make_optimizer(
+    OptimizerKind kind, std::vector<tensor::Parameter*> params, float lr) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<Sgd>(std::move(params), lr);
+    case OptimizerKind::kAdam:
+      return std::make_unique<Adam>(std::move(params), lr);
+  }
+  GNN4IP_ENSURE(false, "unknown optimizer kind");
+  return nullptr;
+}
+
+}  // namespace gnn4ip::train

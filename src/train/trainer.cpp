@@ -1,0 +1,258 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "util/contract.h"
+
+namespace gnn4ip::train {
+namespace {
+
+/// Cosine similarity of two dense rows (inference path, no tape).
+float cosine(const tensor::Matrix& a, const tensor::Matrix& b) {
+  const float ab = tensor::dot(a, b);
+  const float na = a.frobenius_norm();
+  const float nb = b.frobenius_norm();
+  return ab / std::max(na * nb, 1e-8F);
+}
+
+}  // namespace
+
+Trainer::Trainer(gnn::Hw2Vec& model, const PairDataset& dataset,
+                 const TrainConfig& config)
+    : model_(model),
+      dataset_(dataset),
+      config_(config),
+      rng_(config.seed) {
+  split_ = dataset_.split(config_.test_fraction, rng_);
+  optimizer_ =
+      make_optimizer(config_.optimizer, model_.parameters(),
+                     config_.learning_rate);
+}
+
+EpochStats Trainer::train_epoch() {
+  return config_.mode == TrainConfig::BatchMode::kGraphBatch
+             ? train_epoch_graph_batch()
+             : train_epoch_pair_batch();
+}
+
+EpochStats Trainer::fit() {
+  EpochStats last;
+  for (int e = 0; e < config_.epochs; ++e) {
+    last = train_epoch();
+  }
+  return last;
+}
+
+EpochStats Trainer::train_epoch_graph_batch() {
+  EpochStats stats;
+  // Which graphs participate in training pairs?
+  std::vector<std::size_t> train_graphs;
+  {
+    std::vector<bool> in_train(dataset_.graphs().size(), false);
+    for (std::size_t pi : split_.train) {
+      in_train[dataset_.pairs()[pi].a] = true;
+      in_train[dataset_.pairs()[pi].b] = true;
+    }
+    for (std::size_t g = 0; g < in_train.size(); ++g) {
+      if (in_train[g]) train_graphs.push_back(g);
+    }
+  }
+  GNN4IP_ENSURE(!train_graphs.empty(), "no training graphs");
+
+  // Fast membership test for training pairs (graph-batch mode must not
+  // train on held-out pairs).
+  std::map<std::pair<std::size_t, std::size_t>, int> train_pair_label;
+  for (std::size_t pi : split_.train) {
+    const PairSample& p = dataset_.pairs()[pi];
+    train_pair_label[{std::min(p.a, p.b), std::max(p.a, p.b)}] = p.label;
+  }
+
+  rng_.shuffle(train_graphs);
+  const std::size_t batch =
+      std::min(config_.batch_graphs, train_graphs.size());
+  const std::size_t steps = std::min(
+      config_.max_steps_per_epoch,
+      std::max<std::size_t>(1, train_graphs.size() / std::max<std::size_t>(
+                                                         1, batch)));
+  double loss_sum = 0.0;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    // Next window of graphs (reshuffle on wrap).
+    std::vector<std::size_t> chosen;
+    chosen.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (cursor >= train_graphs.size()) {
+        rng_.shuffle(train_graphs);
+        cursor = 0;
+      }
+      chosen.push_back(train_graphs[cursor++]);
+    }
+
+    tensor::Tape tape;
+    std::map<std::size_t, tensor::Var> embeddings;
+    for (std::size_t g : chosen) {
+      embeddings.emplace(
+          g, model_.embed(tape, dataset_.graphs()[g].tensors, rng_,
+                          /*training=*/true));
+    }
+    std::vector<tensor::Var> losses;
+    for (std::size_t i = 0; i < chosen.size(); ++i) {
+      for (std::size_t j = i + 1; j < chosen.size(); ++j) {
+        const auto key = std::minmax(chosen[i], chosen[j]);
+        const auto it =
+            train_pair_label.find({key.first, key.second});
+        if (it == train_pair_label.end()) continue;  // held-out pair
+        tensor::Var sim = tape.cosine_similarity(embeddings.at(chosen[i]),
+                                                 embeddings.at(chosen[j]));
+        tensor::Var loss =
+            tape.cosine_embedding_loss(sim, it->second, config_.margin);
+        if (it->second == 1 && config_.positive_weight != 1.0F) {
+          loss = tape.scale(loss, config_.positive_weight);
+        }
+        losses.push_back(loss);
+      }
+    }
+    if (losses.empty()) continue;
+    tensor::Var total = tape.sum_scalars(losses);
+    // Mean over batch pairs keeps the step size independent of batch
+    // composition.
+    tensor::Var mean_loss =
+        tape.scale(total, 1.0F / static_cast<float>(losses.size()));
+    tape.backward(mean_loss);
+    optimizer_->step();
+    loss_sum += static_cast<double>(mean_loss.value().at(0, 0));
+    stats.pairs_seen += losses.size();
+    ++stats.steps;
+  }
+  stats.mean_loss = stats.steps == 0 ? 0.0 : loss_sum / stats.steps;
+  return stats;
+}
+
+EpochStats Trainer::train_epoch_pair_batch() {
+  EpochStats stats;
+  std::vector<std::size_t> order = split_.train;
+  rng_.shuffle(order);
+  const std::size_t batch = std::max<std::size_t>(1, config_.batch_pairs);
+  const std::size_t steps =
+      std::min(config_.max_steps_per_epoch,
+               (order.size() + batch - 1) / batch);
+  double loss_sum = 0.0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const std::size_t begin = s * batch;
+    const std::size_t end = std::min(order.size(), begin + batch);
+    if (begin >= end) break;
+
+    tensor::Tape tape;
+    std::map<std::size_t, tensor::Var> embeddings;
+    auto embed_once = [&](std::size_t g) {
+      auto it = embeddings.find(g);
+      if (it == embeddings.end()) {
+        it = embeddings
+                 .emplace(g, model_.embed(tape,
+                                          dataset_.graphs()[g].tensors,
+                                          rng_, /*training=*/true))
+                 .first;
+      }
+      return it->second;
+    };
+    std::vector<tensor::Var> losses;
+    for (std::size_t k = begin; k < end; ++k) {
+      const PairSample& p = dataset_.pairs()[order[k]];
+      tensor::Var sim =
+          tape.cosine_similarity(embed_once(p.a), embed_once(p.b));
+      tensor::Var loss =
+          tape.cosine_embedding_loss(sim, p.label, config_.margin);
+      if (p.label == 1 && config_.positive_weight != 1.0F) {
+        loss = tape.scale(loss, config_.positive_weight);
+      }
+      losses.push_back(loss);
+    }
+    tensor::Var total = tape.sum_scalars(losses);
+    tensor::Var mean_loss =
+        tape.scale(total, 1.0F / static_cast<float>(losses.size()));
+    tape.backward(mean_loss);
+    optimizer_->step();
+    loss_sum += static_cast<double>(mean_loss.value().at(0, 0));
+    stats.pairs_seen += losses.size();
+    ++stats.steps;
+  }
+  stats.mean_loss = stats.steps == 0 ? 0.0 : loss_sum / stats.steps;
+  return stats;
+}
+
+std::vector<tensor::Matrix> Trainer::embed_all() {
+  std::vector<tensor::Matrix> embeddings;
+  embeddings.reserve(dataset_.graphs().size());
+  for (const GraphEntry& entry : dataset_.graphs()) {
+    embeddings.push_back(model_.embed_inference(entry.tensors));
+  }
+  return embeddings;
+}
+
+std::vector<float> Trainer::score_pairs(
+    const std::vector<std::size_t>& pair_indices) {
+  const std::vector<tensor::Matrix> embeddings = embed_all();
+  std::vector<float> scores;
+  scores.reserve(pair_indices.size());
+  for (std::size_t pi : pair_indices) {
+    const PairSample& p = dataset_.pairs()[pi];
+    scores.push_back(cosine(embeddings[p.a], embeddings[p.b]));
+  }
+  return scores;
+}
+
+EvalResult Trainer::evaluate() {
+  const std::vector<tensor::Matrix> embeddings = embed_all();
+  auto score_of = [&](std::size_t pi) {
+    const PairSample& p = dataset_.pairs()[pi];
+    return cosine(embeddings[p.a], embeddings[p.b]);
+  };
+
+  // δ tuned on training pairs only.
+  std::vector<float> train_scores;
+  std::vector<int> train_labels;
+  train_scores.reserve(split_.train.size());
+  for (std::size_t pi : split_.train) {
+    train_scores.push_back(score_of(pi));
+    train_labels.push_back(dataset_.pairs()[pi].label);
+  }
+  tuned_delta_ = tune_threshold(train_scores, train_labels);
+
+  EvalResult result;
+  result.delta = tuned_delta_;
+  result.scores.reserve(split_.test.size());
+  result.labels.reserve(split_.test.size());
+  for (std::size_t pi : split_.test) {
+    result.scores.push_back(score_of(pi));
+    result.labels.push_back(dataset_.pairs()[pi].label);
+  }
+  result.confusion =
+      confusion_at(result.scores, result.labels, tuned_delta_);
+
+  // Per-sample timing without embedding reuse: embed both graphs of a
+  // pair and compute the similarity, averaged over up to 64 test pairs.
+  const std::size_t timing_pairs =
+      std::min<std::size_t>(64, split_.test.size());
+  if (timing_pairs == 0) return result;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < timing_pairs; ++k) {
+    const PairSample& p = dataset_.pairs()[split_.test[k]];
+    const tensor::Matrix ha =
+        model_.embed_inference(dataset_.graphs()[p.a].tensors);
+    const tensor::Matrix hb =
+        model_.embed_inference(dataset_.graphs()[p.b].tensors);
+    volatile float sink = cosine(ha, hb);
+    (void)sink;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  result.seconds_per_sample =
+      std::chrono::duration<double>(t1 - t0).count() /
+      static_cast<double>(timing_pairs);
+  return result;
+}
+
+}  // namespace gnn4ip::train

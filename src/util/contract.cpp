@@ -1,0 +1,15 @@
+#include "util/contract.h"
+
+#include <sstream>
+
+namespace gnn4ip::util {
+
+void contract_failure(const char* expr, const char* file, int line,
+                      const std::string& message) {
+  std::ostringstream os;
+  os << "contract violated at " << file << ':' << line << ": (" << expr
+     << ") — " << message;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace gnn4ip::util

@@ -1,0 +1,38 @@
+// Internal contract checking for GNN4IP.
+//
+// User-input problems (malformed Verilog, bad configuration files) are
+// reported through dedicated exception types near where they occur.  The
+// macros here are for *internal* invariants: conditions that can only be
+// false if the library itself has a bug.  They throw std::logic_error so a
+// broken invariant surfaces immediately in tests instead of corrupting
+// results silently.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gnn4ip::util {
+
+/// Thrown when an internal invariant is violated. Indicates a library bug,
+/// not a user error.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+[[noreturn]] void contract_failure(const char* expr, const char* file,
+                                   int line, const std::string& message);
+
+}  // namespace gnn4ip::util
+
+/// Check an internal invariant; throws gnn4ip::util::ContractViolation with
+/// location info when the condition is false. Active in all build types —
+/// the checks guard correctness-critical graph/tensor bookkeeping whose
+/// cost is negligible next to the math they protect.
+#define GNN4IP_ENSURE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::gnn4ip::util::contract_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,39 @@
+// Small string helpers shared across the Verilog frontend and dataset
+// generators. All functions are pure and allocation-conscious.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnn4ip::util {
+
+/// Split `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Remove leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+[[nodiscard]] std::string replace_all(std::string text, std::string_view from,
+                                      std::string_view to);
+
+/// True if `name` is a valid Verilog simple identifier.
+[[nodiscard]] bool is_identifier(std::string_view name);
+
+/// printf-style formatting into a std::string (for diagnostics and
+/// generated RTL).  Uses vsnprintf under the hood.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace gnn4ip::util

@@ -1,0 +1,32 @@
+// Hierarchy elaboration: flatten a multi-module design into a single
+// module (the "Preprocess … flatten the modular codes" phase of the
+// paper's Fig. 2 pipeline).
+//
+// Instances are inlined recursively. Internal signals of an instance
+// `u1` of a child get hierarchical names `u1.sig`; port connections
+// become continuous assigns; parameters are resolved to constants with
+// overrides applied. Inout ports and recursive instantiation raise
+// ParseError.
+#pragma once
+
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace gnn4ip::verilog {
+
+struct ElaborateOptions {
+  /// Safety bound on hierarchy depth (cycles are also detected directly).
+  int max_depth = 64;
+};
+
+/// Flatten `top` (by module name) within `design` into a self-contained
+/// module with no instances and no unresolved parameters.
+[[nodiscard]] Module elaborate(const Design& design, const std::string& top,
+                               const ElaborateOptions& options = {});
+
+/// Convenience: pick the unique module that is never instantiated by
+/// another (throws ParseError if that module is not unique).
+[[nodiscard]] std::string infer_top_module(const Design& design);
+
+}  // namespace gnn4ip::verilog

@@ -1,0 +1,243 @@
+#include <array>
+#include <cctype>
+#include <string_view>
+#include <unordered_set>
+
+#include "verilog/token.h"
+
+namespace gnn4ip::verilog {
+namespace {
+
+const std::unordered_set<std::string>& keyword_set() {
+  static const std::unordered_set<std::string> kKeywords = {
+      "module",   "endmodule", "input",    "output",   "inout",
+      "wire",     "reg",       "assign",   "always",   "initial",
+      "begin",    "end",       "if",       "else",     "case",
+      "casex",    "casez",     "endcase",  "default",  "posedge",
+      "negedge",  "parameter", "localparam", "integer", "signed",
+      "and",      "or",        "xor",      "xnor",     "nand",
+      "nor",      "not",       "buf",      "for",      "while",
+      "function", "endfunction", "task",   "endtask",  "generate",
+      "endgenerate", "genvar", "supply0",  "supply1",  "tri",
+  };
+  return kKeywords;
+}
+
+// Multi-character punctuation, longest-match-first.
+constexpr std::array<std::string_view, 18> kMultiPunct = {
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&",
+    "||",  "<<",  ">>",  "~&",  "~|", "~^", "^~", "**", "+:",
+};
+
+struct LexCursor {
+  const std::string* text;
+  std::size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  [[nodiscard]] bool at_end() const { return pos >= text->size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    const std::size_t p = pos + ahead;
+    return p < text->size() ? (*text)[p] : '\0';
+  }
+  char advance() {
+    const char c = (*text)[pos++];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLocation loc() const { return {line, column}; }
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_base_char(char c) {
+  const char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return lower == 'b' || lower == 'o' || lower == 'd' || lower == 'h';
+}
+
+Token lex_number(LexCursor& cur) {
+  Token tok;
+  tok.kind = TokenKind::kNumber;
+  tok.loc = cur.loc();
+  // Optional size prefix (decimal digits), then 'base digits, or a plain
+  // decimal (possibly real — we accept digits and '.' though DFGs treat
+  // numbers opaquely).
+  while (std::isdigit(static_cast<unsigned char>(cur.peek())) ||
+         cur.peek() == '_') {
+    tok.text.push_back(cur.advance());
+  }
+  if (cur.peek() == '\'' &&
+      (is_base_char(cur.peek(1)) ||
+       ((cur.peek(1) == 's' || cur.peek(1) == 'S') && is_base_char(cur.peek(2))))) {
+    tok.text.push_back(cur.advance());  // '
+    if (cur.peek() == 's' || cur.peek() == 'S') tok.text.push_back(cur.advance());
+    tok.text.push_back(cur.advance());  // base char
+    while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+           cur.peek() == '_' || cur.peek() == '?' || cur.peek() == 'x' ||
+           cur.peek() == 'z' || cur.peek() == 'X' || cur.peek() == 'Z') {
+      tok.text.push_back(cur.advance());
+    }
+  } else if (cur.peek() == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1)))) {
+    tok.text.push_back(cur.advance());
+    while (std::isdigit(static_cast<unsigned char>(cur.peek()))) {
+      tok.text.push_back(cur.advance());
+    }
+  }
+  if (tok.text.empty()) {
+    throw ParseError("malformed number literal", tok.loc);
+  }
+  return tok;
+}
+
+}  // namespace
+
+bool is_verilog_keyword(const std::string& word) {
+  return keyword_set().count(word) > 0;
+}
+
+std::vector<Token> lex(const std::string& source) {
+  LexCursor cur;
+  cur.text = &source;
+  std::vector<Token> tokens;
+  while (!cur.at_end()) {
+    const char c = cur.peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.advance();
+      continue;
+    }
+    if (is_ident_start(c)) {
+      Token tok;
+      tok.loc = cur.loc();
+      while (!cur.at_end() && is_ident_char(cur.peek())) {
+        tok.text.push_back(cur.advance());
+      }
+      tok.kind = is_verilog_keyword(tok.text) ? TokenKind::kKeyword
+                                              : TokenKind::kIdentifier;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\\') {
+      // Escaped identifier: backslash to next whitespace.
+      Token tok;
+      tok.loc = cur.loc();
+      tok.kind = TokenKind::kIdentifier;
+      cur.advance();
+      while (!cur.at_end() &&
+             !std::isspace(static_cast<unsigned char>(cur.peek()))) {
+        tok.text.push_back(cur.advance());
+      }
+      if (tok.text.empty()) {
+        throw ParseError("empty escaped identifier", tok.loc);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lex_number(cur));
+      continue;
+    }
+    if (c == '\'') {
+      // Unsized based literal like 'b0 / 'd12.
+      Token tok;
+      tok.loc = cur.loc();
+      tok.kind = TokenKind::kNumber;
+      tok.text.push_back(cur.advance());
+      if (cur.peek() == 's' || cur.peek() == 'S') tok.text.push_back(cur.advance());
+      if (!is_base_char(cur.peek())) {
+        throw ParseError("malformed based literal", tok.loc);
+      }
+      tok.text.push_back(cur.advance());
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_' || cur.peek() == '?') {
+        tok.text.push_back(cur.advance());
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"') {
+      Token tok;
+      tok.loc = cur.loc();
+      tok.kind = TokenKind::kString;
+      cur.advance();
+      while (true) {
+        if (cur.at_end() || cur.peek() == '\n') {
+          throw ParseError("unterminated string literal", tok.loc);
+        }
+        const char ch = cur.advance();
+        if (ch == '"') break;
+        if (ch == '\\' && !cur.at_end()) {
+          tok.text.push_back(ch);
+          tok.text.push_back(cur.advance());
+          continue;
+        }
+        tok.text.push_back(ch);
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '$') {
+      // System identifier ($display, $time, ...).
+      Token tok;
+      tok.loc = cur.loc();
+      tok.kind = TokenKind::kIdentifier;
+      tok.text.push_back(cur.advance());
+      while (!cur.at_end() && is_ident_char(cur.peek())) {
+        tok.text.push_back(cur.advance());
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation: try multi-char first.
+    bool matched = false;
+    for (std::string_view spelling : kMultiPunct) {
+      bool ok = true;
+      for (std::size_t i = 0; i < spelling.size(); ++i) {
+        if (cur.peek(i) != spelling[i]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        Token tok;
+        tok.loc = cur.loc();
+        tok.kind = TokenKind::kPunct;
+        tok.text = std::string(spelling);
+        for (std::size_t i = 0; i < spelling.size(); ++i) cur.advance();
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kSingle = "()[]{},;:.#?=@&|^~!+-*/%<>";
+    if (kSingle.find(c) != std::string::npos) {
+      Token tok;
+      tok.loc = cur.loc();
+      tok.kind = TokenKind::kPunct;
+      tok.text.push_back(cur.advance());
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'",
+                     cur.loc());
+  }
+  Token eof;
+  eof.kind = TokenKind::kEndOfFile;
+  eof.loc = cur.loc();
+  tokens.push_back(std::move(eof));
+  return tokens;
+}
+
+}  // namespace gnn4ip::verilog

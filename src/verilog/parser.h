@@ -1,0 +1,24 @@
+// Recursive-descent parser for the supported Verilog subset.
+//
+// parse() runs the preprocessor, lexer, and parser; parse_tokens() starts
+// from an existing token stream. Both throw ParseError on malformed or
+// unsupported input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verilog/ast.h"
+#include "verilog/preprocess.h"
+#include "verilog/token.h"
+
+namespace gnn4ip::verilog {
+
+/// Preprocess + lex + parse a Verilog source buffer.
+[[nodiscard]] Design parse(const std::string& source,
+                           const PreprocessOptions& pp_options = {});
+
+/// Parse an already-lexed token stream.
+[[nodiscard]] Design parse_tokens(std::vector<Token> tokens);
+
+}  // namespace gnn4ip::verilog

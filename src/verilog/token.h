@@ -1,0 +1,43 @@
+// Token stream produced by the Verilog lexer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verilog/diagnostics.h"
+
+namespace gnn4ip::verilog {
+
+enum class TokenKind {
+  kIdentifier,   // foo, \escaped , $display
+  kKeyword,      // module, wire, always, ... (text holds the keyword)
+  kNumber,       // 42, 8'hFF, 4'b10_10 (text holds the literal)
+  kString,       // "..." (text holds contents without quotes)
+  kPunct,        // operators and punctuation (text holds the spelling)
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;
+  SourceLocation loc;
+
+  [[nodiscard]] bool is_punct(const char* spelling) const {
+    return kind == TokenKind::kPunct && text == spelling;
+  }
+  [[nodiscard]] bool is_keyword(const char* word) const {
+    return kind == TokenKind::kKeyword && text == word;
+  }
+};
+
+/// True for words the lexer classifies as keywords. Gate primitive names
+/// (and/or/not/...) are included; the parser contextually accepts them
+/// where grammar requires.
+[[nodiscard]] bool is_verilog_keyword(const std::string& word);
+
+/// Tokenize preprocessed source; throws ParseError on bad characters,
+/// malformed numbers, or unterminated literals. The result always ends
+/// with a kEndOfFile token.
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+}  // namespace gnn4ip::verilog

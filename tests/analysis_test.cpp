@@ -1,0 +1,170 @@
+// PCA, t-SNE, and cluster-statistics tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cluster_stats.h"
+#include "analysis/pca.h"
+#include "analysis/tsne.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace gnn4ip::analysis {
+namespace {
+
+/// Two Gaussian blobs in D dims separated along the first axis.
+tensor::Matrix two_blobs(std::size_t per_cluster, std::size_t dims,
+                         double separation, std::vector<int>* labels,
+                         std::uint64_t seed = 1) {
+  util::Rng rng(seed);
+  tensor::Matrix x(2 * per_cluster, dims);
+  labels->clear();
+  for (std::size_t i = 0; i < 2 * per_cluster; ++i) {
+    const int cluster = i < per_cluster ? 0 : 1;
+    labels->push_back(cluster);
+    for (std::size_t c = 0; c < dims; ++c) {
+      double v = rng.normal() * 0.5;
+      if (c == 0) v += cluster == 0 ? 0.0 : separation;
+      x.at(i, c) = static_cast<float>(v);
+    }
+  }
+  return x;
+}
+
+TEST(Jacobi, DiagonalizesKnownMatrix) {
+  // Eigenvalues of [[2,1],[1,2]] are 1 and 3.
+  const tensor::Matrix a = tensor::Matrix::from_rows({{2, 1}, {1, 2}});
+  tensor::Matrix v;
+  auto values = jacobi_eigen(a, v);
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR(values[0], 1.0F, 1e-4F);
+  EXPECT_NEAR(values[1], 3.0F, 1e-4F);
+  // Eigenvector columns orthonormal.
+  for (int i = 0; i < 2; ++i) {
+    float norm = 0.0F;
+    for (int k = 0; k < 2; ++k) {
+      norm += v.at(static_cast<std::size_t>(k), static_cast<std::size_t>(i)) *
+              v.at(static_cast<std::size_t>(k), static_cast<std::size_t>(i));
+    }
+    EXPECT_NEAR(norm, 1.0F, 1e-4F);
+  }
+}
+
+TEST(Jacobi, ReconstructsMatrix) {
+  util::Rng rng(2);
+  tensor::Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = i; j < 5; ++j) {
+      const float v = rng.uniform(-1, 1);
+      a.at(i, j) = v;
+      a.at(j, i) = v;
+    }
+  }
+  tensor::Matrix vecs;
+  const auto values = jacobi_eigen(a, vecs);
+  // A ≈ V diag(λ) Vᵀ.
+  tensor::Matrix lambda(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) lambda.at(i, i) = values[i];
+  const tensor::Matrix recon =
+      tensor::matmul(tensor::matmul(vecs, lambda), tensor::transpose(vecs));
+  EXPECT_LT(tensor::max_abs_diff(a, recon), 1e-3F);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data stretched along (1, 1)/√2: first component aligns with it.
+  util::Rng rng(3);
+  tensor::Matrix x(200, 2);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const float t = rng.uniform(-3, 3);
+    x.at(i, 0) = t + static_cast<float>(rng.normal() * 0.05);
+    x.at(i, 1) = t + static_cast<float>(rng.normal() * 0.05);
+  }
+  const PcaResult r = pca(x, 2);
+  const float c0 = std::fabs(r.components.at(0, 0));
+  const float c1 = std::fabs(r.components.at(0, 1));
+  EXPECT_NEAR(c0, std::sqrt(0.5F), 0.05F);
+  EXPECT_NEAR(c1, std::sqrt(0.5F), 0.05F);
+  EXPECT_GT(r.explained_variance_ratio[0], 0.95F);
+}
+
+TEST(Pca, ProjectionShapesAndOrdering) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(20, 6, 5.0, &labels);
+  const PcaResult r = pca(x, 3);
+  EXPECT_EQ(r.projected.rows(), 40u);
+  EXPECT_EQ(r.projected.cols(), 3u);
+  EXPECT_GE(r.eigenvalues[0], r.eigenvalues[1]);
+  EXPECT_GE(r.eigenvalues[1], r.eigenvalues[2]);
+}
+
+TEST(Pca, SeparatesBlobsInFirstComponent) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(25, 8, 6.0, &labels);
+  const PcaResult r = pca(x, 2);
+  // Cluster means on PC1 must be far apart relative to spread.
+  tensor::Matrix pc1(50, 1);
+  for (std::size_t i = 0; i < 50; ++i) pc1.at(i, 0) = r.projected.at(i, 0);
+  EXPECT_GT(centroid_separation(pc1, labels), 2.0);
+}
+
+TEST(Pca, InvalidArgsRejected) {
+  tensor::Matrix x(1, 4);
+  EXPECT_THROW(pca(x, 2), util::ContractViolation);
+  tensor::Matrix y(10, 3);
+  EXPECT_THROW(pca(y, 5), util::ContractViolation);
+  EXPECT_THROW(pca(y, 0), util::ContractViolation);
+}
+
+TEST(Tsne, SeparatesWellSeparatedBlobs) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(20, 10, 8.0, &labels, 7);
+  TsneOptions options;
+  options.out_dims = 2;
+  options.iterations = 300;
+  const tensor::Matrix y = tsne(x, options);
+  EXPECT_EQ(y.rows(), 40u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_GT(nn_label_accuracy(y, labels), 0.9);
+}
+
+TEST(Tsne, ThreeDimensionalOutput) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(10, 5, 6.0, &labels, 9);
+  TsneOptions options;
+  options.iterations = 150;
+  const tensor::Matrix y = tsne(x, options);
+  EXPECT_EQ(y.cols(), 3u);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Tsne, TooFewSamplesRejected) {
+  tensor::Matrix x(3, 4);
+  EXPECT_THROW(tsne(x), util::ContractViolation);
+}
+
+TEST(ClusterStats, SilhouetteHighForSeparated) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(15, 4, 10.0, &labels, 11);
+  EXPECT_GT(silhouette_score(x, labels), 0.8);
+}
+
+TEST(ClusterStats, SilhouetteLowForOverlapping) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(15, 4, 0.1, &labels, 13);
+  EXPECT_LT(silhouette_score(x, labels), 0.3);
+}
+
+TEST(ClusterStats, NnAccuracyPerfectWhenFarApart) {
+  std::vector<int> labels;
+  const tensor::Matrix x = two_blobs(10, 3, 20.0, &labels, 15);
+  EXPECT_DOUBLE_EQ(nn_label_accuracy(x, labels), 1.0);
+}
+
+TEST(ClusterStats, RequiresTwoClusters) {
+  tensor::Matrix x(4, 2);
+  const std::vector<int> labels = {0, 0, 0, 0};
+  EXPECT_THROW(silhouette_score(x, labels), util::ContractViolation);
+}
+
+}  // namespace
+}  // namespace gnn4ip::analysis

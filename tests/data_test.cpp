@@ -1,0 +1,505 @@
+// Dataset substrate tests: netlist builder + simulator, RTL families,
+// ISCAS stand-ins (functional correctness!), obfuscation behavior
+// preservation, and corpus assembly.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/corpus.h"
+#include "data/iscas.h"
+#include "data/netlist.h"
+#include "data/obfuscate.h"
+#include "data/rtl_designs.h"
+#include "dfg/pipeline.h"
+#include "graph/algorithms.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace gnn4ip::data {
+namespace {
+
+// --- netlist builder + simulator ------------------------------------------------
+
+TEST(Netlist, RippleAdderComputesCorrectSums) {
+  NetlistBuilder b("add4");
+  const Bus a = b.input_bus("a", 4);
+  const Bus bb = b.input_bus("b", 4);
+  const Bit cin = b.input("cin");
+  const auto r = b.ripple_add(a, bb, cin);
+  b.output_bus("s", r.sum);
+  b.output("cout", r.carry);
+  const Netlist n = b.take();
+  for (unsigned x = 0; x < 16; x += 3) {
+    for (unsigned y = 0; y < 16; y += 5) {
+      for (unsigned c = 0; c < 2; ++c) {
+        std::map<std::string, bool> in;
+        set_bus(in, "a", 4, x);
+        set_bus(in, "b", 4, y);
+        in["cin"] = c != 0;
+        const auto out = evaluate(n, in);
+        const unsigned expect = x + y + c;
+        EXPECT_EQ(get_bus(out, "s", 4), expect & 0xF);
+        EXPECT_EQ(out.at("cout"), ((expect >> 4) & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST(Netlist, SubtractorViaTwosComplement) {
+  NetlistBuilder b("sub4");
+  const Bus a = b.input_bus("a", 4);
+  const Bus bb = b.input_bus("b", 4);
+  const auto r = b.subtract(a, bb);
+  b.output_bus("d", r.sum);
+  const Netlist n = b.take();
+  std::map<std::string, bool> in;
+  set_bus(in, "a", 4, 9);
+  set_bus(in, "b", 4, 3);
+  EXPECT_EQ(get_bus(evaluate(n, in), "d", 4), 6u);
+  set_bus(in, "a", 4, 2);
+  set_bus(in, "b", 4, 5);
+  EXPECT_EQ(get_bus(evaluate(n, in), "d", 4), (2u - 5u) & 0xF);
+}
+
+TEST(Netlist, MultiplierMatchesReference) {
+  NetlistBuilder b("mul4");
+  const Bus a = b.input_bus("a", 4);
+  const Bus bb = b.input_bus("b", 4);
+  b.output_bus("p", b.multiply(a, bb));
+  const Netlist n = b.take();
+  for (unsigned x : {0u, 1u, 7u, 12u, 15u}) {
+    for (unsigned y : {0u, 2u, 9u, 15u}) {
+      std::map<std::string, bool> in;
+      set_bus(in, "a", 4, x);
+      set_bus(in, "b", 4, y);
+      EXPECT_EQ(get_bus(evaluate(n, in), "p", 8), x * y)
+          << x << " * " << y;
+    }
+  }
+}
+
+TEST(Netlist, MuxEqualsConstNets) {
+  NetlistBuilder b("mx");
+  const Bit s = b.input("s");
+  const Bit x = b.input("x");
+  const Bit y = b.input("y");
+  b.output("m", b.mux2(s, x, y));
+  b.output("one", b.const_one());
+  b.output("zero", b.const_zero());
+  const Netlist n = b.take();
+  for (int mask = 0; mask < 8; ++mask) {
+    const std::map<std::string, bool> in = {{"s", (mask & 1) != 0},
+                                            {"x", (mask & 2) != 0},
+                                            {"y", (mask & 4) != 0}};
+    const auto out = evaluate(n, in);
+    EXPECT_EQ(out.at("m"), in.at("s") ? in.at("x") : in.at("y"));
+    EXPECT_TRUE(out.at("one"));
+    EXPECT_FALSE(out.at("zero"));
+  }
+}
+
+TEST(Netlist, EvaluateDetectsMissingInput) {
+  NetlistBuilder b("m");
+  const Bit a = b.input("a");
+  b.output("y", b.not1(a));
+  const Netlist n = b.take();
+  EXPECT_THROW(evaluate(n, {}), util::ContractViolation);
+}
+
+TEST(Netlist, VerilogEmissionParsesIntoDfg) {
+  NetlistBuilder b("emit_test");
+  const Bus a = b.input_bus("a", 2);
+  const Bus bb = b.input_bus("b", 2);
+  const auto r = b.ripple_add(a, bb, Bit{});
+  b.output_bus("s", r.sum);
+  const Netlist n = b.take();
+  const graph::Digraph g = dfg::extract_dfg(n.to_verilog());
+  EXPECT_GT(g.num_nodes(), 6u);
+  EXPECT_EQ(graph::num_weak_components(g), 1);
+}
+
+// --- ISCAS stand-ins: functional correctness --------------------------------------
+
+TEST(Iscas, C432PriorityAndEncoding) {
+  const Netlist n = build_c432_interrupt_controller();
+  std::map<std::string, bool> in;
+  set_bus(in, "a", 9, 0);
+  set_bus(in, "b", 9, 1u << 4);  // bus B channel 4 requests
+  set_bus(in, "c", 9, 1u << 2);  // bus C channel 2 requests
+  set_bus(in, "e", 9, 0x1FF);    // all channels enabled
+  auto out = evaluate(n, in);
+  EXPECT_FALSE(out.at("pa"));
+  EXPECT_TRUE(out.at("pb"));   // B outranks C
+  EXPECT_FALSE(out.at("pc"));
+  EXPECT_EQ(get_bus(out, "ch", 4), 4u);
+
+  // Bus A present: outranks everything.
+  set_bus(in, "a", 9, 1u << 7);
+  out = evaluate(n, in);
+  EXPECT_TRUE(out.at("pa"));
+  EXPECT_FALSE(out.at("pb"));
+  EXPECT_EQ(get_bus(out, "ch", 4), 7u);
+
+  // Disabled channels are ignored.
+  set_bus(in, "e", 9, 0);
+  out = evaluate(n, in);
+  EXPECT_FALSE(out.at("pa"));
+  EXPECT_FALSE(out.at("pb"));
+  EXPECT_FALSE(out.at("pc"));
+}
+
+// Mirror of the decoder's data-bit placement: codeword positions 1..38
+// skipping the power-of-two parity slots.
+std::size_t hamming_position(std::size_t i) {
+  std::size_t pos = 1;
+  std::size_t seen = 0;
+  while (true) {
+    if ((pos & (pos - 1)) != 0) {
+      if (seen == i) return pos;
+      ++seen;
+    }
+    ++pos;
+  }
+}
+
+TEST(Iscas, C499CorrectsSingleBitErrors) {
+  const Netlist n = build_c499_sec32(false);
+  util::Rng rng(1);
+  for (int trial = 0; trial < 4; ++trial) {
+    const unsigned long long data = rng.next_u64() & 0xFFFFFFFFULL;
+    // Reference check bits from the H matrix the decoder uses.
+    unsigned long long check = 0;
+    for (std::size_t i = 0; i < 32; ++i) {
+      if (((data >> i) & 1ULL) == 0) continue;
+      check ^= hamming_position(i);
+    }
+    // Clean word decodes to itself.
+    std::map<std::string, bool> clean;
+    set_bus(clean, "d", 32, data);
+    set_bus(clean, "r", 6, check);
+    EXPECT_EQ(get_bus(evaluate(n, clean), "o", 32), data);
+    // Corrupt one data bit; decoder must fix it.
+    const std::size_t bad_bit = rng.next_below(32);
+    std::map<std::string, bool> in;
+    set_bus(in, "d", 32, data ^ (1ULL << bad_bit));
+    set_bus(in, "r", 6, check);
+    EXPECT_EQ(get_bus(evaluate(n, in), "o", 32), data)
+        << "trial " << trial << " bit " << bad_bit;
+  }
+}
+
+TEST(Iscas, C880AluOperations) {
+  const Netlist n = build_c880_alu8();
+  std::map<std::string, bool> in;
+  set_bus(in, "a", 8, 0xC5);
+  set_bus(in, "b", 8, 0x3A);
+  in["cin"] = false;
+  // s1 s0: 00 add, 01 and, 10 or, 11 xor (per mux wiring).
+  in["s0"] = false;
+  in["s1"] = false;
+  EXPECT_EQ(get_bus(evaluate(n, in), "f", 8), (0xC5u + 0x3Au) & 0xFF);
+  in["s0"] = true;
+  EXPECT_EQ(get_bus(evaluate(n, in), "f", 8), 0xC5u & 0x3Au);
+  in["s0"] = false;
+  in["s1"] = true;
+  EXPECT_EQ(get_bus(evaluate(n, in), "f", 8), 0xC5u | 0x3Au);
+  in["s0"] = true;
+  EXPECT_EQ(get_bus(evaluate(n, in), "f", 8), 0xC5u ^ 0x3Au);
+  // Zero flag.
+  set_bus(in, "a", 8, 0x55);
+  set_bus(in, "b", 8, 0x55);
+  EXPECT_TRUE(evaluate(n, in).at("zf"));  // xor of equal values is 0
+}
+
+TEST(Iscas, C1355SameFunctionAsC499DifferentStructure) {
+  const Netlist c499 = build_c499_sec32(false);
+  const Netlist c1355 = build_c499_sec32(true);
+  // Structure differs (NAND form has more gates)...
+  EXPECT_GT(c1355.num_gates(), c499.num_gates());
+  // ...but the function is identical.
+  util::Rng rng(2);
+  for (int trial = 0; trial < 3; ++trial) {
+    std::map<std::string, bool> in;
+    set_bus(in, "d", 32, rng.next_u64() & 0xFFFFFFFFULL);
+    set_bus(in, "r", 6, rng.next_below(64));
+    EXPECT_EQ(get_bus(evaluate(c499, in), "o", 32),
+              get_bus(evaluate(c1355, in), "o", 32));
+  }
+}
+
+TEST(Iscas, C1908DetectsDoubleErrors) {
+  const Netlist n = build_c1908_secded16();
+  const unsigned long long data = 0xBEEF;
+  // Find the valid (r, rp) by brute force over r (5 bits) and rp.
+  unsigned long long check = 0;
+  bool parity = false;
+  bool found = false;
+  for (unsigned long long r = 0; r < 32 && !found; ++r) {
+    for (int p = 0; p < 2 && !found; ++p) {
+      std::map<std::string, bool> probe;
+      set_bus(probe, "d", 16, data);
+      set_bus(probe, "r", 5, r);
+      probe["rp"] = p != 0;
+      const auto out = evaluate(n, probe);
+      if (!out.at("single_err") && !out.at("double_err") &&
+          get_bus(out, "o", 16) == data) {
+        check = r;
+        parity = p != 0;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+  // Single error: corrected, flagged single.
+  std::map<std::string, bool> in;
+  set_bus(in, "d", 16, data ^ (1ULL << 7));
+  set_bus(in, "r", 5, check);
+  in["rp"] = parity;
+  auto out = evaluate(n, in);
+  EXPECT_TRUE(out.at("single_err"));
+  EXPECT_FALSE(out.at("double_err"));
+  EXPECT_EQ(get_bus(out, "o", 16), data);
+  // Double error: flagged double, not silently "corrected".
+  set_bus(in, "d", 16, data ^ (1ULL << 7) ^ (1ULL << 2));
+  out = evaluate(n, in);
+  EXPECT_TRUE(out.at("double_err"));
+  EXPECT_FALSE(out.at("single_err"));
+}
+
+TEST(Iscas, C6288Multiplies) {
+  const Netlist n = build_c6288_mult16();
+  EXPECT_GT(n.num_gates(), 1500u);  // array-multiplier scale
+  std::map<std::string, bool> in;
+  set_bus(in, "a", 16, 0xABCD);
+  set_bus(in, "b", 16, 0x0123);
+  EXPECT_EQ(get_bus(evaluate(n, in), "p", 32),
+            0xABCDULL * 0x0123ULL);
+}
+
+TEST(Iscas, AllSixBenchmarksRegistered) {
+  const auto benches = iscas_benchmarks();
+  ASSERT_EQ(benches.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& b : benches) names.insert(b.name);
+  EXPECT_TRUE(names.count("c432"));
+  EXPECT_TRUE(names.count("c6288"));
+  for (const auto& b : benches) {
+    EXPECT_GT(b.netlist.num_gates(), 20u) << b.name;
+  }
+}
+
+// --- obfuscation: behavior preservation --------------------------------------------
+
+TEST(Obfuscate, PreservesBehaviorOnAlu) {
+  const Netlist base = build_netlist_family("nl_alu4");
+  util::Rng rng(3);
+  ObfuscationConfig config;  // defaults: all transforms on
+  const Netlist obf = obfuscate(base, config, rng);
+  EXPECT_GT(obf.num_gates(), base.num_gates());
+  util::Rng in_rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::map<std::string, bool> in;
+    set_bus(in, "a", 4, in_rng.next_below(16));
+    set_bus(in, "b", 4, in_rng.next_below(16));
+    in["s0"] = in_rng.flip(0.5);
+    in["s1"] = in_rng.flip(0.5);
+    EXPECT_EQ(get_bus(evaluate(base, in), "f", 4),
+              get_bus(evaluate(obf, in), "f", 4));
+  }
+}
+
+TEST(Obfuscate, PreservesBehaviorOnIscasC880) {
+  const Netlist base = build_c880_alu8();
+  util::Rng rng(5);
+  ObfuscationConfig config;
+  config.dummy_gates = 16;
+  const Netlist obf = obfuscate(base, config, rng);
+  util::Rng in_rng(6);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::map<std::string, bool> in;
+    set_bus(in, "a", 8, in_rng.next_below(256));
+    set_bus(in, "b", 8, in_rng.next_below(256));
+    in["cin"] = in_rng.flip(0.5);
+    in["s0"] = in_rng.flip(0.5);
+    in["s1"] = in_rng.flip(0.5);
+    const auto out_base = evaluate(base, in);
+    const auto out_obf = evaluate(obf, in);
+    EXPECT_EQ(get_bus(out_base, "f", 8), get_bus(out_obf, "f", 8));
+    EXPECT_EQ(out_base.at("cout"), out_obf.at("cout"));
+  }
+}
+
+TEST(Obfuscate, RestructureChangesStructureKeepsPorts) {
+  const Netlist base = build_netlist_family("nl_adder8");
+  util::Rng rng(7);
+  const Netlist re = restructure(base, rng);
+  EXPECT_EQ(re.inputs, base.inputs);
+  EXPECT_EQ(re.outputs, base.outputs);
+  const graph::Digraph g1 = dfg::extract_dfg(base.to_verilog());
+  const graph::Digraph g2 = dfg::extract_dfg(re.to_verilog());
+  EXPECT_NE(graph::structural_hash(g1), graph::structural_hash(g2));
+}
+
+TEST(Obfuscate, DifferentSeedsDifferentResults) {
+  const Netlist base = build_netlist_family("nl_parity16");
+  util::Rng r1(8);
+  util::Rng r2(9);
+  ObfuscationConfig config;
+  const Netlist o1 = obfuscate(base, config, r1);
+  const Netlist o2 = obfuscate(base, config, r2);
+  const graph::Digraph g1 = dfg::extract_dfg(o1.to_verilog());
+  const graph::Digraph g2 = dfg::extract_dfg(o2.to_verilog());
+  EXPECT_NE(graph::structural_hash(g1), graph::structural_hash(g2));
+}
+
+// --- RTL families -----------------------------------------------------------------
+
+class RtlFamilyTest : public ::testing::TestWithParam<RtlFamily> {};
+
+TEST_P(RtlFamilyTest, AllStylesParseAndExtract) {
+  const RtlFamily& family = GetParam();
+  for (int style = 0; style < family.num_styles; ++style) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      RtlVariant v{style, seed};
+      const std::string src = family.generate(v);
+      graph::Digraph g;
+      ASSERT_NO_THROW(g = dfg::extract_dfg(src))
+          << family.name << " style " << style << " seed " << seed
+          << "\n--- source ---\n"
+          << src;
+      EXPECT_GT(g.num_nodes(), 5u) << family.name;
+      EXPECT_GT(g.num_edges(), 4u) << family.name;
+    }
+  }
+}
+
+TEST_P(RtlFamilyTest, VariantsAreStructurallyDistinct) {
+  const RtlFamily& family = GetParam();
+  std::set<std::uint64_t> hashes;
+  int instances = 0;
+  for (int i = 0; i < 4; ++i) {
+    RtlVariant v{i % family.num_styles, static_cast<std::uint64_t>(100 + i)};
+    const graph::Digraph g = dfg::extract_dfg(family.generate(v));
+    hashes.insert(graph::structural_hash(g));
+    ++instances;
+  }
+  // At least half the instances should be structurally distinct — the
+  // corpus must not collapse into identical graphs.
+  EXPECT_GE(hashes.size(), static_cast<std::size_t>(instances) / 2)
+      << family.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, RtlFamilyTest, ::testing::ValuesIn(rtl_families()),
+    [](const ::testing::TestParamInfo<RtlFamily>& info) {
+      return info.param.name;
+    });
+
+TEST(RtlDesigns, UnknownFamilyThrows) {
+  EXPECT_THROW(generate_rtl("warp_drive", {}), std::invalid_argument);
+}
+
+TEST(RtlDesigns, AluBlockSharesCoreWithMips) {
+  // The standalone ALU and the MIPS cores must both contain the shared
+  // alu_core operator mix (Table II case 3 depends on this).
+  const graph::Digraph alu = dfg::extract_dfg(gen_alu_block({0, 5}));
+  const graph::Digraph mips = dfg::extract_dfg(gen_mips_single({0, 5}));
+  EXPECT_GT(mips.num_nodes(), alu.num_nodes());
+  const auto alu_hist = graph::kind_histogram(alu);
+  const auto mips_hist = graph::kind_histogram(mips);
+  // Every operator kind present in the ALU also appears in the MIPS.
+  for (std::size_t k = 0; k < alu_hist.size(); ++k) {
+    if (alu_hist[k] > 0) {
+      ASSERT_LT(k, mips_hist.size());
+      EXPECT_GT(mips_hist[k], 0) << "kind " << k;
+    }
+  }
+}
+
+// --- corpus --------------------------------------------------------------------
+
+TEST(Corpus, RtlCorpusShapeAndUniqueness) {
+  RtlCorpusOptions options;
+  options.instances_per_family = 3;
+  const auto items = build_rtl_corpus(options);
+  EXPECT_EQ(items.size(), rtl_families().size() * 3);
+  std::set<std::string> names;
+  for (const auto& item : items) {
+    EXPECT_EQ(item.kind, "rtl");
+    names.insert(item.name);
+  }
+  EXPECT_EQ(names.size(), items.size());  // unique instance names
+}
+
+TEST(Corpus, RtlCorpusFamilyFilter) {
+  RtlCorpusOptions options;
+  options.instances_per_family = 2;
+  options.families = {"adder", "alu"};
+  const auto items = build_rtl_corpus(options);
+  EXPECT_EQ(items.size(), 4u);
+}
+
+TEST(Corpus, NetlistCorpusAllParse) {
+  NetlistCorpusOptions options;
+  options.instances_per_family = 2;
+  options.include_iscas = false;
+  const auto items = build_netlist_corpus(options);
+  EXPECT_EQ(items.size(), netlist_family_names().size() * 2);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.kind, "netlist");
+    EXPECT_NO_THROW(dfg::extract_dfg(item.verilog)) << item.name;
+  }
+}
+
+TEST(Corpus, NetlistCorpusWithIscas) {
+  NetlistCorpusOptions options;
+  options.instances_per_family = 1;
+  options.include_iscas = true;
+  options.iscas_obfuscated_per_benchmark = 2;
+  const auto items = build_netlist_corpus(options);
+  // 11 structural families + 6 benchmarks × (1 original + 2 obfuscated).
+  EXPECT_EQ(items.size(), netlist_family_names().size() + 6 * 3);
+  int iscas_count = 0;
+  for (const auto& item : items) {
+    if (item.design[0] == 'c' && item.design != "counter") ++iscas_count;
+  }
+  EXPECT_EQ(iscas_count, 18);
+}
+
+TEST(Corpus, IscasObfuscatedKeepDesignKey) {
+  IscasCorpusOptions options;
+  options.obfuscated_per_benchmark = 2;
+  const auto items = build_iscas_obfuscated(options);
+  EXPECT_EQ(items.size(), 12u);
+  for (const auto& item : items) {
+    EXPECT_TRUE(item.design == "c432" || item.design == "c499" ||
+                item.design == "c880" || item.design == "c1355" ||
+                item.design == "c1908" || item.design == "c6288");
+  }
+}
+
+TEST(Corpus, MipsVisualizationCorpus) {
+  const auto items = build_mips_visualization_corpus(3);
+  EXPECT_EQ(items.size(), 6u);
+  int pipeline = 0;
+  for (const auto& item : items) {
+    if (item.design == "mips_pipeline") ++pipeline;
+    EXPECT_NO_THROW(dfg::extract_dfg(item.verilog)) << item.name;
+  }
+  EXPECT_EQ(pipeline, 3);
+}
+
+TEST(Corpus, CorpusIsDeterministic) {
+  RtlCorpusOptions options;
+  options.instances_per_family = 2;
+  options.families = {"crc8"};
+  const auto a = build_rtl_corpus(options);
+  const auto b = build_rtl_corpus(options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].verilog, b[i].verilog);
+  }
+}
+
+}  // namespace
+}  // namespace gnn4ip::data

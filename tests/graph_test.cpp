@@ -1,0 +1,252 @@
+// Digraph, algorithms, and serialization tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "graph/serialize.h"
+#include "util/contract.h"
+
+namespace gnn4ip::graph {
+namespace {
+
+Digraph chain(int n) {
+  Digraph g;
+  for (int i = 0; i < n; ++i) g.add_node("n" + std::to_string(i), i % 3);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  return g;
+}
+
+TEST(Digraph, AddNodesAndEdges) {
+  Digraph g;
+  const NodeId a = g.add_node("a", 1);
+  const NodeId b = g.add_node("b", 2);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+}
+
+TEST(Digraph, DuplicateEdgesCollapsed) {
+  Digraph g;
+  const NodeId a = g.add_node("a", 0);
+  const NodeId b = g.add_node("b", 0);
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, SelfLoopControl) {
+  Digraph g;
+  const NodeId a = g.add_node("a", 0);
+  g.add_edge(a, a, /*allow_self_loop=*/false);
+  EXPECT_EQ(g.num_edges(), 0u);
+  g.add_edge(a, a, /*allow_self_loop=*/true);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Digraph, InvalidIdThrows) {
+  Digraph g;
+  g.add_node("a", 0);
+  EXPECT_THROW(g.node(5), util::ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 9), util::ContractViolation);
+}
+
+TEST(Digraph, RemoveNodesRemapsAndPreservesEdges) {
+  Digraph g = chain(5);  // 0->1->2->3->4
+  const auto remap = g.remove_nodes({1});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], kInvalidNode);
+  EXPECT_EQ(remap[2], 1);
+  // Edge 0->1 and 1->2 removed with the node; 2->3->4 survive.
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(1, 2));
+}
+
+TEST(Digraph, InducedSubgraph) {
+  Digraph g = chain(4);
+  const Digraph sub = g.induced_subgraph({1, 2});
+  EXPECT_EQ(sub.num_nodes(), 2u);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_EQ(sub.node(0).name, "n1");
+}
+
+TEST(Digraph, FindByName) {
+  Digraph g = chain(3);
+  EXPECT_EQ(g.find_by_name("n2"), 2);
+  EXPECT_EQ(g.find_by_name("zz"), kInvalidNode);
+}
+
+TEST(Algorithms, WeaklyConnectedComponents) {
+  Digraph g = chain(3);
+  g.add_node("island", 0);
+  const auto labels = weakly_connected_components(g);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_EQ(num_weak_components(g), 2);
+}
+
+TEST(Algorithms, ReachableForwardAndBackward) {
+  Digraph g = chain(4);
+  const auto fwd = reachable(g, {1}, Direction::kForward);
+  EXPECT_FALSE(fwd[0]);
+  EXPECT_TRUE(fwd[1]);
+  EXPECT_TRUE(fwd[3]);
+  const auto bwd = reachable(g, {1}, Direction::kBackward);
+  EXPECT_TRUE(bwd[0]);
+  EXPECT_FALSE(bwd[2]);
+}
+
+TEST(Algorithms, CycleDetection) {
+  Digraph g = chain(3);
+  EXPECT_FALSE(has_cycle(g));
+  g.add_edge(2, 0);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Algorithms, SelfLoopIsCycle) {
+  Digraph g;
+  const NodeId a = g.add_node("a", 0);
+  g.add_edge(a, a);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Algorithms, TopologicalOrder) {
+  Digraph g;
+  const NodeId a = g.add_node("a", 0);
+  const NodeId b = g.add_node("b", 0);
+  const NodeId c = g.add_node("c", 0);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 3u);
+  // c must come after both a and b.
+  std::size_t pos_a = 0;
+  std::size_t pos_b = 0;
+  std::size_t pos_c = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == a) pos_a = i;
+    if (order[i] == b) pos_b = i;
+    if (order[i] == c) pos_c = i;
+  }
+  EXPECT_GT(pos_c, pos_a);
+  EXPECT_GT(pos_c, pos_b);
+}
+
+TEST(Algorithms, TopologicalOrderThrowsOnCycle) {
+  Digraph g = chain(2);
+  g.add_edge(1, 0);
+  EXPECT_THROW(topological_order(g), util::ContractViolation);
+}
+
+TEST(Algorithms, StructuralHashInvariantToNames) {
+  Digraph g1;
+  g1.add_node("x", 1);
+  g1.add_node("y", 2);
+  g1.add_edge(0, 1);
+  Digraph g2;
+  g2.add_node("completely", 1);
+  g2.add_node("different", 2);
+  g2.add_edge(0, 1);
+  EXPECT_EQ(structural_hash(g1), structural_hash(g2));
+}
+
+TEST(Algorithms, StructuralHashSensitiveToKindsAndWiring) {
+  Digraph g1;
+  g1.add_node("a", 1);
+  g1.add_node("b", 2);
+  g1.add_edge(0, 1);
+  Digraph g2;
+  g2.add_node("a", 1);
+  g2.add_node("b", 3);  // different kind
+  g2.add_edge(0, 1);
+  EXPECT_NE(structural_hash(g1), structural_hash(g2));
+
+  Digraph g3;
+  g3.add_node("a", 1);
+  g3.add_node("b", 2);
+  g3.add_edge(1, 0);  // reversed edge
+  EXPECT_NE(structural_hash(g1), structural_hash(g3));
+}
+
+TEST(Algorithms, StructuralHashInvariantToNodeOrder) {
+  Digraph g1;
+  g1.add_node("a", 1);
+  g1.add_node("b", 2);
+  g1.add_node("c", 3);
+  g1.add_edge(0, 1);
+  g1.add_edge(1, 2);
+  Digraph g2;
+  g2.add_node("c", 3);
+  g2.add_node("a", 1);
+  g2.add_node("b", 2);
+  g2.add_edge(1, 2);
+  g2.add_edge(2, 0);
+  EXPECT_EQ(structural_hash(g1), structural_hash(g2));
+}
+
+TEST(Algorithms, KindHistogram) {
+  Digraph g = chain(5);  // kinds 0,1,2,0,1
+  const auto hist = kind_histogram(g);
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2);
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[2], 1);
+}
+
+TEST(Serialize, DotOutputContainsNodesAndEdges) {
+  Digraph g = chain(2);
+  const std::string dot = to_dot(g, "test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("label="), std::string::npos);
+}
+
+TEST(Serialize, DotEscapesQuotes) {
+  Digraph g;
+  g.add_node("a\"b", 0);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+TEST(Serialize, TextRoundTrip) {
+  Digraph g = chain(4);
+  g.add_edge(0, 3);
+  std::ostringstream os;
+  write_text(os, g);
+  std::istringstream is(os.str());
+  const Digraph g2 = read_text(is);
+  EXPECT_EQ(g2.num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  EXPECT_EQ(g2.node(3).name, "n3");
+  EXPECT_TRUE(g2.has_edge(0, 3));
+  EXPECT_EQ(structural_hash(g), structural_hash(g2));
+}
+
+TEST(Serialize, RejectsMalformedStream) {
+  std::istringstream bad1("not a graph");
+  EXPECT_THROW(read_text(bad1), std::runtime_error);
+  std::istringstream bad2("gnn4ip-graph v1\nnodes 1\n0 a\nedges 1\n0 9\n");
+  EXPECT_THROW(read_text(bad2), std::runtime_error);
+}
+
+TEST(Serialize, NodeNamesWithSpacesSurvive) {
+  Digraph g;
+  g.add_node("name with spaces", 7);
+  std::ostringstream os;
+  write_text(os, g);
+  std::istringstream is(os.str());
+  const Digraph g2 = read_text(is);
+  EXPECT_EQ(g2.node(0).name, "name with spaces");
+  EXPECT_EQ(g2.node(0).kind, 7);
+}
+
+}  // namespace
+}  // namespace gnn4ip::graph

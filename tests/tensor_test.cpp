@@ -1,0 +1,172 @@
+// Dense matrix and sparse CSR tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/csr.h"
+#include "tensor/matrix.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace gnn4ip::tensor {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5F);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 1.5F);
+  m.fill(0.0F);
+  EXPECT_FLOAT_EQ(m.at(0, 0), 0.0F);
+}
+
+TEST(Matrix, FromRowsAndAt) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_FLOAT_EQ(m.at(0, 1), 2.0F);
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.0F);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), util::ContractViolation);
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), util::ContractViolation);
+  EXPECT_THROW(m.at(0, 2), util::ContractViolation);
+}
+
+TEST(Matrix, MatmulSmall) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0F);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 22.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 43.0F);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0F);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(matmul(a, b), util::ContractViolation);
+}
+
+TEST(Matrix, TransposedVariantsAgree) {
+  util::Rng rng(5);
+  Matrix a(4, 3);
+  Matrix b(4, 5);
+  for (float& x : a.data()) x = rng.uniform(-1, 1);
+  for (float& x : b.data()) x = rng.uniform(-1, 1);
+  // AᵀB via explicit transpose vs fused.
+  const Matrix expected = matmul(transpose(a), b);
+  const Matrix fused = matmul_at_b(a, b);
+  EXPECT_LT(max_abs_diff(expected, fused), 1e-5F);
+
+  Matrix c(5, 3);  // A·Cᵀ with A 4×3 needs C ?×3
+  for (float& x : c.data()) x = rng.uniform(-1, 1);
+  const Matrix expected2 = matmul(a, transpose(c));
+  const Matrix fused2 = matmul_a_bt(a, c);
+  EXPECT_LT(max_abs_diff(expected2, fused2), 1e-5F);
+}
+
+TEST(Matrix, AddSubtractHadamard) {
+  const Matrix a = Matrix::from_rows({{1, 2}});
+  const Matrix b = Matrix::from_rows({{3, 5}});
+  EXPECT_FLOAT_EQ(add(a, b).at(0, 1), 7.0F);
+  EXPECT_FLOAT_EQ(subtract(b, a).at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(hadamard(a, b).at(0, 1), 10.0F);
+}
+
+TEST(Matrix, NormsAndDot) {
+  const Matrix a = Matrix::from_rows({{3, 4}});
+  EXPECT_FLOAT_EQ(a.frobenius_norm(), 5.0F);
+  EXPECT_FLOAT_EQ(a.max_abs(), 4.0F);
+  const Matrix b = Matrix::from_rows({{1, 2}});
+  EXPECT_FLOAT_EQ(dot(a, b), 11.0F);
+}
+
+TEST(Matrix, AxpyAndScale) {
+  Matrix a = Matrix::from_rows({{1, 1}});
+  const Matrix b = Matrix::from_rows({{2, 4}});
+  a.axpy_in_place(0.5F, b);
+  EXPECT_FLOAT_EQ(a.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 3.0F);
+  a.scale_in_place(2.0F);
+  EXPECT_FLOAT_EQ(a.at(0, 1), 6.0F);
+}
+
+TEST(Matrix, GlorotBoundsAndSpread) {
+  util::Rng rng(3);
+  const Matrix w = Matrix::glorot(30, 20, rng);
+  const float bound = std::sqrt(6.0F / 50.0F);
+  float max_seen = 0.0F;
+  for (float x : w.data()) {
+    EXPECT_LE(std::fabs(x), bound + 1e-6F);
+    max_seen = std::max(max_seen, std::fabs(x));
+  }
+  EXPECT_GT(max_seen, bound * 0.5F);  // actually spread out
+}
+
+TEST(Csr, FromTripletsAndDense) {
+  const Csr s = Csr::from_triplets(
+      2, 3, {{0, 0, 1.0F}, {0, 2, 2.0F}, {1, 1, 3.0F}, {0, 0, 0.5F}});
+  EXPECT_EQ(s.nnz(), 3u);  // duplicate (0,0) summed
+  const Matrix d = s.to_dense();
+  EXPECT_FLOAT_EQ(d.at(0, 0), 1.5F);
+  EXPECT_FLOAT_EQ(d.at(0, 2), 2.0F);
+  EXPECT_FLOAT_EQ(d.at(1, 1), 3.0F);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 0.0F);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  util::Rng rng(7);
+  std::vector<Triplet> triplets;
+  for (int k = 0; k < 30; ++k) {
+    triplets.push_back({rng.next_below(6), rng.next_below(5),
+                        rng.uniform(-1, 1)});
+  }
+  const Csr s = Csr::from_triplets(6, 5, triplets);
+  Matrix x(5, 4);
+  for (float& v : x.data()) v = rng.uniform(-1, 1);
+  const Matrix via_sparse = s.multiply(x);
+  const Matrix via_dense = matmul(s.to_dense(), x);
+  EXPECT_LT(max_abs_diff(via_sparse, via_dense), 1e-5F);
+}
+
+TEST(Csr, MultiplyTransposedMatchesDense) {
+  util::Rng rng(9);
+  std::vector<Triplet> triplets;
+  for (int k = 0; k < 25; ++k) {
+    triplets.push_back({rng.next_below(4), rng.next_below(7),
+                        rng.uniform(-1, 1)});
+  }
+  const Csr s = Csr::from_triplets(4, 7, triplets);
+  Matrix x(4, 3);
+  for (float& v : x.data()) v = rng.uniform(-1, 1);
+  const Matrix via_sparse = s.multiply_transposed(x);
+  const Matrix via_dense = matmul(transpose(s.to_dense()), x);
+  EXPECT_LT(max_abs_diff(via_sparse, via_dense), 1e-5F);
+}
+
+TEST(Csr, ShapeChecks) {
+  const Csr s = Csr::from_triplets(2, 3, {{0, 0, 1.0F}});
+  Matrix wrong(2, 2);
+  EXPECT_THROW(s.multiply(wrong), util::ContractViolation);
+  Matrix wrong_t(3, 2);
+  EXPECT_THROW(s.multiply_transposed(wrong_t), util::ContractViolation);
+  EXPECT_THROW(Csr::from_triplets(1, 1, {{1, 0, 1.0F}}),
+               util::ContractViolation);
+}
+
+TEST(Csr, EmptyMatrixMultiplies) {
+  const Csr s = Csr::from_triplets(3, 3, {});
+  Matrix x(3, 2, 1.0F);
+  const Matrix y = s.multiply(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(y.at(2, 1), 0.0F);
+}
+
+}  // namespace
+}  // namespace gnn4ip::tensor

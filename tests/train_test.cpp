@@ -1,0 +1,270 @@
+// Training-stack tests: optimizers, pair dataset, metrics, trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gnn4ip.h"
+#include "train/dataset.h"
+#include "train/metrics.h"
+#include "train/optimizer.h"
+#include "train/trainer.h"
+
+namespace gnn4ip::train {
+namespace {
+
+TEST(Optimizer, SgdStepsAgainstGradient) {
+  tensor::Parameter p(tensor::Matrix::from_rows({{1.0F}}));
+  p.grad.at(0, 0) = 2.0F;
+  Sgd sgd({&p}, /*lr=*/0.1F);
+  sgd.step();
+  EXPECT_NEAR(p.value.at(0, 0), 0.8F, 1e-6F);
+  EXPECT_FLOAT_EQ(p.grad.at(0, 0), 0.0F);  // cleared
+}
+
+TEST(Optimizer, SgdMomentumAccumulates) {
+  tensor::Parameter p(tensor::Matrix::from_rows({{0.0F}}));
+  Sgd sgd({&p}, 0.1F, /*momentum=*/0.9F);
+  for (int i = 0; i < 3; ++i) {
+    p.grad.at(0, 0) = 1.0F;
+    sgd.step();
+  }
+  // v1=1, v2=1.9, v3=2.71 -> total step = 0.1*(1+1.9+2.71).
+  EXPECT_NEAR(p.value.at(0, 0), -0.561F, 1e-5F);
+}
+
+TEST(Optimizer, SgdWeightDecayShrinks) {
+  tensor::Parameter p(tensor::Matrix::from_rows({{1.0F}}));
+  Sgd sgd({&p}, 0.1F, 0.0F, /*weight_decay=*/1.0F);
+  p.grad.at(0, 0) = 0.0F;
+  sgd.step();
+  EXPECT_NEAR(p.value.at(0, 0), 0.9F, 1e-6F);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized) {
+  tensor::Parameter p(tensor::Matrix::from_rows({{1.0F}}));
+  Adam adam({&p}, /*lr=*/0.01F);
+  p.grad.at(0, 0) = 5.0F;  // any positive gradient: first step ≈ lr
+  adam.step();
+  EXPECT_NEAR(p.value.at(0, 0), 1.0F - 0.01F, 1e-4F);
+}
+
+TEST(Optimizer, AdamConvergesOnQuadratic) {
+  // Minimize (x-3)^2 — gradient 2(x-3).
+  tensor::Parameter p(tensor::Matrix::from_rows({{-4.0F}}));
+  Adam adam({&p}, 0.2F);
+  for (int i = 0; i < 300; ++i) {
+    p.grad.at(0, 0) = 2.0F * (p.value.at(0, 0) - 3.0F);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value.at(0, 0), 3.0F, 0.05F);
+}
+
+TEST(Optimizer, FactoryMakesBothKinds) {
+  tensor::Parameter p(tensor::Matrix::from_rows({{0.0F}}));
+  EXPECT_NE(make_optimizer(OptimizerKind::kSgd, {&p}, 0.1F), nullptr);
+  EXPECT_NE(make_optimizer(OptimizerKind::kAdam, {&p}, 0.1F), nullptr);
+}
+
+// --- dataset -----------------------------------------------------------------
+
+std::vector<GraphEntry> toy_entries(int families, int per_family) {
+  // Tiny synthetic graphs; design key drives the labels.
+  std::vector<GraphEntry> entries;
+  for (int f = 0; f < families; ++f) {
+    for (int i = 0; i < per_family; ++i) {
+      graph::Digraph g;
+      g.add_node("out", 1);
+      for (int k = 0; k < 2 + f; ++k) {
+        g.add_node("n", 5 + f);
+        g.add_edge(0, static_cast<graph::NodeId>(k + 1));
+      }
+      GraphEntry e;
+      e.name = "g" + std::to_string(f) + "_" + std::to_string(i);
+      e.design = "design" + std::to_string(f);
+      e.tensors = gnn::featurize(g);
+      entries.push_back(std::move(e));
+    }
+  }
+  return entries;
+}
+
+TEST(PairDataset, AllPairsCountsAndLabels) {
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(3, 4));
+  // 12 graphs -> 66 pairs; similar = 3 * C(4,2) = 18.
+  EXPECT_EQ(ds.pairs().size(), 66u);
+  EXPECT_EQ(ds.num_similar(), 18u);
+  EXPECT_EQ(ds.num_different(), 48u);
+  for (const PairSample& p : ds.pairs()) {
+    const bool same =
+        ds.graphs()[p.a].design == ds.graphs()[p.b].design;
+    EXPECT_EQ(p.label, same ? 1 : -1);
+  }
+}
+
+TEST(PairDataset, StratifiedSplitPreservesRatio) {
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(3, 6));
+  util::Rng rng(5);
+  const auto split = ds.split(0.25, rng);
+  EXPECT_EQ(split.train.size() + split.test.size(), ds.pairs().size());
+  auto count_similar = [&ds](const std::vector<std::size_t>& indices) {
+    std::size_t n = 0;
+    for (std::size_t i : indices) {
+      if (ds.pairs()[i].label == 1) ++n;
+    }
+    return n;
+  };
+  const double train_ratio =
+      static_cast<double>(count_similar(split.train)) / split.train.size();
+  const double test_ratio =
+      static_cast<double>(count_similar(split.test)) / split.test.size();
+  EXPECT_NEAR(train_ratio, test_ratio, 0.05);
+}
+
+TEST(PairDataset, SplitDisjoint) {
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(2, 4));
+  util::Rng rng(6);
+  const auto split = ds.split(0.3, rng);
+  std::vector<bool> seen(ds.pairs().size(), false);
+  for (std::size_t i : split.train) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  for (std::size_t i : split.test) {
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+// --- metrics -----------------------------------------------------------------
+
+TEST(Metrics, ConfusionAtThreshold) {
+  const std::vector<float> scores = {0.9F, 0.8F, 0.2F, -0.5F};
+  const std::vector<int> labels = {1, -1, 1, -1};
+  const ConfusionMatrix cm = confusion_at(scores, labels, 0.5F);
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_NEAR(cm.accuracy(), 0.5, 1e-9);
+  EXPECT_NEAR(cm.false_negative_rate(), 0.5, 1e-9);
+}
+
+TEST(Metrics, PrecisionRecallF1) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fp = 2;
+  cm.fn = 4;
+  cm.tn = 6;
+  EXPECT_NEAR(cm.precision(), 0.8, 1e-9);
+  EXPECT_NEAR(cm.recall(), 8.0 / 12.0, 1e-9);
+  const double f1 = cm.f1();
+  EXPECT_GT(f1, 0.7);
+  EXPECT_LT(f1, 0.8);
+}
+
+TEST(Metrics, DegenerateCasesZero) {
+  ConfusionMatrix cm;
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.precision(), 0.0);
+  EXPECT_EQ(cm.recall(), 0.0);
+  EXPECT_EQ(cm.f1(), 0.0);
+  EXPECT_EQ(cm.false_negative_rate(), 0.0);
+}
+
+TEST(Metrics, TuneThresholdSeparable) {
+  // Perfectly separable at delta ∈ (0.3, 0.7).
+  const std::vector<float> scores = {0.9F, 0.7F, 0.3F, 0.1F};
+  const std::vector<int> labels = {1, 1, -1, -1};
+  const float delta = tune_threshold(scores, labels);
+  const ConfusionMatrix cm = confusion_at(scores, labels, delta);
+  EXPECT_NEAR(cm.accuracy(), 1.0, 1e-9);
+  EXPECT_GT(delta, 0.3F);
+  EXPECT_LT(delta, 0.7F);
+}
+
+TEST(Metrics, TuneThresholdNoisy) {
+  const std::vector<float> scores = {0.9F, 0.2F, 0.8F, 0.4F, 0.1F};
+  const std::vector<int> labels = {1, 1, -1, -1, -1};
+  const float delta = tune_threshold(scores, labels);
+  // Best achievable accuracy here is 3/5 (delta above 0.9 or in (0.4,0.8) etc.)
+  EXPECT_GE(confusion_at(scores, labels, delta).accuracy(), 0.6 - 1e-9);
+}
+
+// --- trainer ------------------------------------------------------------------
+
+TEST(Trainer, LossDecreasesOnToyCorpus) {
+  gnn::Hw2VecConfig mc;
+  mc.hidden_dim = 8;
+  mc.seed = 3;
+  gnn::Hw2Vec model(mc);
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(3, 5));
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_graphs = 15;
+  tc.learning_rate = 5e-3F;
+  tc.seed = 9;
+  Trainer trainer(model, ds, tc);
+  const EpochStats first = trainer.train_epoch();
+  EpochStats last = first;
+  for (int e = 0; e < 14; ++e) last = trainer.train_epoch();
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+}
+
+TEST(Trainer, EvaluateSeparatesToyFamilies) {
+  gnn::Hw2VecConfig mc;
+  mc.hidden_dim = 8;
+  mc.seed = 4;
+  gnn::Hw2Vec model(mc);
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(3, 6));
+  TrainConfig tc;
+  tc.epochs = 25;
+  tc.batch_graphs = 18;
+  tc.learning_rate = 5e-3F;
+  tc.seed = 10;
+  Trainer trainer(model, ds, tc);
+  trainer.fit();
+  const EvalResult result = trainer.evaluate();
+  // Toy families are trivially separable; expect high accuracy.
+  EXPECT_GT(result.confusion.accuracy(), 0.85);
+  EXPECT_EQ(result.scores.size(), trainer.split().test.size());
+  EXPECT_GT(result.seconds_per_sample, 0.0);
+}
+
+TEST(Trainer, PairBatchModeAlsoTrains) {
+  gnn::Hw2VecConfig mc;
+  mc.hidden_dim = 8;
+  mc.seed = 5;
+  gnn::Hw2Vec model(mc);
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(2, 5));
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.mode = TrainConfig::BatchMode::kPairBatch;
+  tc.batch_pairs = 16;
+  tc.max_steps_per_epoch = 4;
+  tc.seed = 11;
+  Trainer trainer(model, ds, tc);
+  const EpochStats stats = trainer.train_epoch();
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.pairs_seen, 0u);
+}
+
+TEST(Trainer, ScorePairsMatchesEvaluateScores) {
+  gnn::Hw2VecConfig mc;
+  mc.hidden_dim = 8;
+  gnn::Hw2Vec model(mc);
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(2, 4));
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.seed = 12;
+  Trainer trainer(model, ds, tc);
+  trainer.fit();
+  const EvalResult result = trainer.evaluate();
+  const std::vector<float> scores = trainer.score_pairs(trainer.split().test);
+  ASSERT_EQ(scores.size(), result.scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_NEAR(scores[i], result.scores[i], 1e-5F);
+  }
+}
+
+}  // namespace
+}  // namespace gnn4ip::train

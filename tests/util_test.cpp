@@ -1,0 +1,164 @@
+// Tests for contract checking, string helpers, and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/contract.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace gnn4ip::util {
+namespace {
+
+TEST(Contract, ThrowsWithLocationAndMessage) {
+  try {
+    GNN4IP_ENSURE(1 == 2, "math is broken");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contract, PassesSilently) {
+  EXPECT_NO_THROW(GNN4IP_ENSURE(2 + 2 == 4, "unused"));
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("module foo", "module"));
+  EXPECT_FALSE(starts_with("mod", "module"));
+  EXPECT_TRUE(ends_with("foo.v", ".v"));
+  EXPECT_FALSE(ends_with("v", ".v"));
+}
+
+TEST(StringUtil, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyx", "y", ""), "xx");
+  EXPECT_EQ(replace_all("abc", "", "z"), "abc");
+}
+
+TEST(StringUtil, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("foo_1"));
+  EXPECT_TRUE(is_identifier("_x$y"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%zu", static_cast<std::size_t>(7)), "7");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasRoughlyStandardMoments) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, FlipProbability) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.flip(0.25)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.25, 0.03);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(17);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(21);
+  Rng child = a.fork();
+  // Child stream differs from parent's continued stream.
+  EXPECT_NE(child.next_u64(), a.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const float x = rng.uniform(-2.0F, 3.0F);
+    EXPECT_GE(x, -2.0F);
+    EXPECT_LT(x, 3.0F);
+  }
+}
+
+}  // namespace
+}  // namespace gnn4ip::util
