@@ -1,11 +1,16 @@
 // google-benchmark microbenchmarks for the hot kernels behind Table I's
 // per-sample timing: Verilog frontend, DFG pipeline, featurization,
-// GCN/pooling forward, whole-graph embedding, and the classical baseline
-// for contrast.
+// GCN/pooling forward, whole-graph embedding, corpus-scale pairwise
+// scoring (naive per-pair vs batched PairwiseScorer), and the classical
+// baseline for contrast.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "baseline/graph_similarity.h"
+#include "common.h"
 #include "core/gnn4ip.h"
+#include "core/pairwise_scorer.h"
 #include "data/corpus.h"
 #include "data/rtl_designs.h"
 #include "verilog/parser.h"
@@ -120,6 +125,81 @@ void BM_SpmmMedium(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpmmMedium);
+
+// --- Corpus-scale pairwise scoring: the PairwiseScorer before/after. ---
+//
+// BM_PairwiseScoreNaivePerPair is the seed pattern (detector.check per
+// pair: both members re-embedded for every one of the N·(N−1)/2 pairs);
+// BM_PairwiseScoreBatched embeds each design once and scores every pair
+// from the cached matrix with the blocked multi-threaded kernel. Both
+// score the same 64-design corpus per iteration, so their per-iteration
+// times are directly comparable.
+
+constexpr std::size_t kScoringCorpusSize = 64;
+
+const std::vector<train::GraphEntry>& scoring_corpus() {
+  static const std::vector<train::GraphEntry> entries = [] {
+    data::RtlCorpusOptions options;
+    options.instances_per_family = 2;
+    std::vector<data::CorpusItem> items = data::build_rtl_corpus(options);
+    items.resize(std::min(items.size(), kScoringCorpusSize));
+    return make_graph_entries(items);
+  }();
+  return entries;
+}
+
+void BM_PairwiseScoreNaivePerPair(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  gnn::Hw2Vec model;
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    float acc = 0.0F;
+    pairs = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      for (std::size_t j = i + 1; j < entries.size(); ++j) {
+        const tensor::Matrix ha = model.embed_inference(entries[i].tensors);
+        const tensor::Matrix hb = model.embed_inference(entries[j].tensors);
+        acc += bench::cosine(ha, hb);
+        ++pairs;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pairs) * state.iterations());
+  state.counters["designs"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_PairwiseScoreNaivePerPair)->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseScoreBatched(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  gnn::Hw2Vec model;
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    const core::PairwiseScorer scorer =
+        core::PairwiseScorer::from_entries(model, entries);
+    const std::vector<core::PairScore> scores = scorer.score_all_pairs();
+    pairs = scores.size();
+    float acc = 0.0F;
+    for (const core::PairScore& p : scores) acc += p.similarity;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(pairs) * state.iterations());
+  state.counters["designs"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_PairwiseScoreBatched)->Unit(benchmark::kMillisecond);
+
+// The cached-matrix kernel alone (embeddings precomputed): what scoring
+// costs once a corpus is resident.
+void BM_PairwiseKernelOnly(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  gnn::Hw2Vec model;
+  const core::PairwiseScorer scorer =
+      core::PairwiseScorer::from_entries(model, entries);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scorer.score_matrix());
+  }
+}
+BENCHMARK(BM_PairwiseKernelOnly);
 
 void BM_BaselineWl(benchmark::State& state) {
   const graph::Digraph a = dfg::extract_dfg(medium_rtl());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/gnn4ip.h"
+#include "core/pairwise_scorer.h"
 #include "data/rtl_designs.h"
 
 int main() {
@@ -49,17 +50,32 @@ int main() {
       {"in:uart-restyled (stolen)", data::gen_uart_tx({1, 7006})},
   };
 
+  // Embed each design exactly once; every library×incoming score then
+  // comes from the cached embeddings via the batched blocked kernel
+  // (the naive path would re-embed both members of all 9 pairs).
+  core::PairwiseScorer library_scorer;
+  core::PairwiseScorer incoming_scorer;
+  for (const Ip& lib : library) {
+    (void)library_scorer.add(lib.name, detector.embed(lib.verilog));
+  }
+  for (const Ip& candidate : incoming) {
+    (void)incoming_scorer.add(candidate.name,
+                              detector.embed(candidate.verilog));
+  }
+  const tensor::Matrix sims = incoming_scorer.score_against(library_scorer);
+
   std::printf("%-28s", "similarity");
   for (const Ip& lib : library) std::printf(" %14s", lib.name.c_str());
   std::printf("\n");
 
   int flagged = 0;
-  for (const Ip& candidate : incoming) {
-    std::printf("%-28s", candidate.name.c_str());
-    for (const Ip& lib : library) {
-      const Verdict v = detector.check(candidate.verilog, lib.verilog);
-      std::printf(" %+9.4f%s", v.similarity, v.is_piracy ? " [!] " : "     ");
-      if (v.is_piracy) ++flagged;
+  for (std::size_t row = 0; row < incoming.size(); ++row) {
+    std::printf("%-28s", incoming[row].name.c_str());
+    for (std::size_t col = 0; col < library.size(); ++col) {
+      const float similarity = sims.at(row, col);
+      const bool is_piracy = similarity > detector.delta();
+      std::printf(" %+9.4f%s", similarity, is_piracy ? " [!] " : "     ");
+      if (is_piracy) ++flagged;
     }
     std::printf("\n");
   }

@@ -1,0 +1,192 @@
+#include "core/pairwise_scorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+#include "util/contract.h"
+
+namespace gnn4ip::core {
+namespace {
+
+/// Guard on the norm *product*, exactly like PiracyDetector::similarity:
+/// all-zero embeddings score 0 instead of NaN, and the result is clamped
+/// into the documented [-1, 1] so the two paths agree bit-for-bit on
+/// degenerate inputs too.
+constexpr float kNormFloor = 1e-8F;
+
+[[nodiscard]] std::vector<float> row_norms(const tensor::Matrix& m) {
+  std::vector<float> norms(m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const std::span<const float> row = m.row(i);
+    float sq = 0.0F;
+    for (float v : row) sq += v * v;
+    norms[i] = std::sqrt(sq);
+  }
+  return norms;
+}
+
+/// Run `run_tile(t)` for t in [0, tile_count) across `num_threads`
+/// workers. Tiles are claimed through an atomic counter, so the schedule
+/// adapts to uneven tile cost; every cell's value is computed the same
+/// way regardless of which worker claims it.
+void parallel_tiles(std::size_t tile_count, std::size_t num_threads,
+                    const std::function<void(std::size_t)>& run_tile) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  num_threads = std::min(num_threads, tile_count);
+  if (num_threads <= 1) {
+    for (std::size_t t = 0; t < tile_count; ++t) run_tile(t);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t t = next.fetch_add(1); t < tile_count;
+         t = next.fetch_add(1)) {
+      run_tile(t);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads - 1);
+  for (std::size_t w = 1; w < num_threads; ++w) pool.emplace_back(worker);
+  worker();
+  for (std::thread& th : pool) th.join();
+}
+
+}  // namespace
+
+tensor::Matrix cosine_rows(const tensor::Matrix& a, const tensor::Matrix& b,
+                           const ScorerOptions& options) {
+  GNN4IP_ENSURE(a.cols() == b.cols(),
+                "cosine_rows: dimension mismatch " + a.shape_string() +
+                    " vs " + b.shape_string());
+  tensor::Matrix result(a.rows(), b.rows());
+  if (a.rows() == 0 || b.rows() == 0) return result;
+
+  const std::vector<float> norms_a = row_norms(a);
+  const std::vector<float> norms_b = row_norms(b);
+  const std::size_t block = std::max<std::size_t>(options.block_rows, 1);
+  const std::size_t row_tiles = (a.rows() + block - 1) / block;
+  const std::size_t col_tiles = (b.rows() + block - 1) / block;
+  const std::size_t dim = a.cols();
+
+  parallel_tiles(row_tiles * col_tiles, options.num_threads,
+                 [&](std::size_t tile) {
+    const std::size_t i0 = (tile / col_tiles) * block;
+    const std::size_t j0 = (tile % col_tiles) * block;
+    const std::size_t i1 = std::min(i0 + block, a.rows());
+    const std::size_t j1 = std::min(j0 + block, b.rows());
+    for (std::size_t i = i0; i < i1; ++i) {
+      const std::span<const float> ra = a.row(i);
+      const std::span<float> out = result.row(i);
+      for (std::size_t j = j0; j < j1; ++j) {
+        const std::span<const float> rb = b.row(j);
+        float acc = 0.0F;
+        for (std::size_t k = 0; k < dim; ++k) acc += ra[k] * rb[k];
+        const float denom = std::max(norms_a[i] * norms_b[j], kNormFloor);
+        out[j] = std::clamp(acc / denom, -1.0F, 1.0F);
+      }
+    }
+  });
+  return result;
+}
+
+PairwiseScorer::PairwiseScorer(const ScorerOptions& options)
+    : options_(options) {}
+
+PairwiseScorer PairwiseScorer::from_entries(
+    gnn::Hw2Vec& model, std::span<const train::GraphEntry> entries,
+    const ScorerOptions& options) {
+  PairwiseScorer scorer(options);
+  scorer.names_.reserve(entries.size());
+  for (const train::GraphEntry& entry : entries) {
+    scorer.add(entry.name, model.embed_inference(entry.tensors));
+  }
+  return scorer;
+}
+
+std::size_t PairwiseScorer::add(std::string name,
+                                const tensor::Matrix& embedding) {
+  GNN4IP_ENSURE(!embedding.empty(), "PairwiseScorer: empty embedding");
+  if (dim_ == 0) {
+    dim_ = embedding.size();
+  } else {
+    GNN4IP_ENSURE(embedding.size() == dim_,
+                  "PairwiseScorer: embedding dim " +
+                      std::to_string(embedding.size()) +
+                      " != corpus dim " + std::to_string(dim_));
+  }
+  const std::span<const float> flat = embedding.data();
+  data_.insert(data_.end(), flat.begin(), flat.end());
+  names_.push_back(std::move(name));
+  return names_.size() - 1;
+}
+
+const std::string& PairwiseScorer::name(std::size_t i) const {
+  GNN4IP_ENSURE(i < names_.size(), "PairwiseScorer: index out of range");
+  return names_[i];
+}
+
+tensor::Matrix PairwiseScorer::embedding_matrix() const {
+  tensor::Matrix m(names_.size(), dim_);
+  std::copy(data_.begin(), data_.end(), m.data().begin());
+  return m;
+}
+
+tensor::Matrix PairwiseScorer::score_matrix() const {
+  const tensor::Matrix emb = embedding_matrix();
+  return cosine_rows(emb, emb, options_);
+}
+
+tensor::Matrix PairwiseScorer::score_against(
+    const PairwiseScorer& other) const {
+  return cosine_rows(embedding_matrix(), other.embedding_matrix(), options_);
+}
+
+std::vector<PairScore> PairwiseScorer::score_all_pairs() const {
+  // The symmetric matrix computes both triangles; at D = 16 the kernel is
+  // cheap enough that halving it is not worth a second code path.
+  const tensor::Matrix scores = score_matrix();
+  std::vector<PairScore> pairs;
+  pairs.reserve(size() * (size() > 0 ? size() - 1 : 0) / 2);
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::span<const float> row = scores.row(i);
+    for (std::size_t j = i + 1; j < size(); ++j) {
+      pairs.push_back({i, j, row[j]});
+    }
+  }
+  return pairs;
+}
+
+std::vector<PairScore> PairwiseScorer::flag(float delta) const {
+  std::vector<PairScore> pairs = score_all_pairs();
+  std::erase_if(pairs,
+                [delta](const PairScore& p) { return p.similarity <= delta; });
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairScore& x, const PairScore& y) {
+              return x.similarity > y.similarity;
+            });
+  return pairs;
+}
+
+float PairwiseScorer::score(std::size_t i, std::size_t j) const {
+  GNN4IP_ENSURE(i < size() && j < size(),
+                "PairwiseScorer: pair index out of range");
+  const float* ri = data_.data() + i * dim_;
+  const float* rj = data_.data() + j * dim_;
+  float ab = 0.0F;
+  float aa = 0.0F;
+  float bb = 0.0F;
+  for (std::size_t k = 0; k < dim_; ++k) {
+    ab += ri[k] * rj[k];
+    aa += ri[k] * ri[k];
+    bb += rj[k] * rj[k];
+  }
+  const float denom = std::max(std::sqrt(aa) * std::sqrt(bb), kNormFloor);
+  return std::clamp(ab / denom, -1.0F, 1.0F);
+}
+
+}  // namespace gnn4ip::core

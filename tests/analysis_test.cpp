@@ -163,7 +163,7 @@ TEST(ClusterStats, NnAccuracyPerfectWhenFarApart) {
 TEST(ClusterStats, RequiresTwoClusters) {
   tensor::Matrix x(4, 2);
   const std::vector<int> labels = {0, 0, 0, 0};
-  EXPECT_THROW(silhouette_score(x, labels), util::ContractViolation);
+  EXPECT_THROW((void)silhouette_score(x, labels), util::ContractViolation);
 }
 
 }  // namespace

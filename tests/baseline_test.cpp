@@ -1,6 +1,8 @@
 // Classical graph-similarity baseline tests.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "baseline/graph_similarity.h"
 #include "data/rtl_designs.h"
 #include "dfg/pipeline.h"
@@ -50,7 +52,7 @@ TEST(NeighborMatching, SymmetricUpToGreedyTies) {
 TEST(NeighborMatching, EmptyGraphRejected) {
   graph::Digraph empty;
   const graph::Digraph g = star(2, 1, 2);
-  EXPECT_THROW(neighbor_matching_similarity(empty, g),
+  EXPECT_THROW((void)neighbor_matching_similarity(empty, g),
                util::ContractViolation);
 }
 

@@ -179,7 +179,7 @@ TEST(Readout, StringRoundTrip) {
   EXPECT_EQ(readout_from_string("mean"), Readout::kMean);
   EXPECT_EQ(readout_from_string("sum"), Readout::kSum);
   EXPECT_STREQ(to_string(Readout::kMax), "max");
-  EXPECT_THROW(readout_from_string("median"), std::invalid_argument);
+  EXPECT_THROW((void)readout_from_string("median"), std::invalid_argument);
 }
 
 TEST(Readout, AppliesSelectedOperation) {

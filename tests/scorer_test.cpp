@@ -1,0 +1,177 @@
+// PairwiseScorer tests: thread-count invariance, parity with the
+// per-pair embed-and-cosine path, and the blocked kernel's geometry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/gnn4ip.h"
+#include "core/pairwise_scorer.h"
+#include "data/corpus.h"
+#include "util/contract.h"
+
+namespace gnn4ip::core {
+namespace {
+
+/// The pre-existing per-pair scoring path (PiracyDetector::similarity):
+/// embed both members, clamped cosine.
+float per_pair_cosine(gnn::Hw2Vec& model, const train::GraphEntry& a,
+                      const train::GraphEntry& b) {
+  const tensor::Matrix ha = model.embed_inference(a.tensors);
+  const tensor::Matrix hb = model.embed_inference(b.tensors);
+  const float denom = std::max(
+      ha.frobenius_norm() * hb.frobenius_norm(), 1e-8F);
+  return std::clamp(tensor::dot(ha, hb) / denom, -1.0F, 1.0F);
+}
+
+std::vector<train::GraphEntry> small_corpus() {
+  data::RtlCorpusOptions options;
+  options.instances_per_family = 2;
+  options.families = {"adder", "crc8", "parity16", "counter8"};
+  return make_graph_entries(data::build_rtl_corpus(options));
+}
+
+TEST(CosineRows, MatchesHandComputedValues) {
+  const tensor::Matrix a = tensor::Matrix::from_rows({{1, 0}, {1, 1}});
+  const tensor::Matrix b =
+      tensor::Matrix::from_rows({{0, 2}, {3, 0}, {-1, 0}});
+  const tensor::Matrix s = cosine_rows(a, b);
+  ASSERT_EQ(s.rows(), 2u);
+  ASSERT_EQ(s.cols(), 3u);
+  EXPECT_NEAR(s.at(0, 0), 0.0F, 1e-6F);
+  EXPECT_NEAR(s.at(0, 1), 1.0F, 1e-6F);
+  EXPECT_NEAR(s.at(0, 2), -1.0F, 1e-6F);
+  const float inv_sqrt2 = 1.0F / std::sqrt(2.0F);
+  EXPECT_NEAR(s.at(1, 0), inv_sqrt2, 1e-6F);
+  EXPECT_NEAR(s.at(1, 1), inv_sqrt2, 1e-6F);
+  EXPECT_NEAR(s.at(1, 2), -inv_sqrt2, 1e-6F);
+}
+
+TEST(CosineRows, ZeroRowScoresZero) {
+  const tensor::Matrix a = tensor::Matrix::from_rows({{0, 0}, {1, 2}});
+  const tensor::Matrix s = cosine_rows(a, a);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 0.0F);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 0.0F);
+  EXPECT_NEAR(s.at(1, 1), 1.0F, 1e-6F);
+}
+
+TEST(CosineRows, DimensionMismatchThrows) {
+  const tensor::Matrix a(2, 3);
+  const tensor::Matrix b(2, 4);
+  EXPECT_THROW((void)cosine_rows(a, b), util::ContractViolation);
+}
+
+TEST(PairwiseScorer, ScoresIdenticalAcross1And2And8Threads) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  std::vector<tensor::Matrix> per_thread_scores;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScorerOptions options;
+    options.num_threads = threads;
+    options.block_rows = 2;  // several tiles even on this small corpus
+    const PairwiseScorer scorer =
+        PairwiseScorer::from_entries(model, entries, options);
+    per_thread_scores.push_back(scorer.score_matrix());
+  }
+  ASSERT_EQ(per_thread_scores.size(), 3u);
+  // Every cell is computed independently from the cached rows, so the
+  // result must be bit-identical, not just close.
+  EXPECT_EQ(tensor::max_abs_diff(per_thread_scores[0], per_thread_scores[1]),
+            0.0F);
+  EXPECT_EQ(tensor::max_abs_diff(per_thread_scores[0], per_thread_scores[2]),
+            0.0F);
+}
+
+TEST(PairwiseScorer, MatchesPerPairPathWithin1e5) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const tensor::Matrix scores = scorer.score_matrix();
+  ASSERT_EQ(scores.rows(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries.size(); ++j) {
+      const float reference = per_pair_cosine(model, entries[i], entries[j]);
+      EXPECT_NEAR(scores.at(i, j), reference, 1e-5F)
+          << "pair (" << entries[i].name << ", " << entries[j].name << ")";
+      EXPECT_NEAR(scorer.score(i, j), reference, 1e-5F);
+    }
+  }
+}
+
+TEST(PairwiseScorer, ScoreAllPairsMatchesMatrixUpperTriangle) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const tensor::Matrix scores = scorer.score_matrix();
+  const std::vector<PairScore> pairs = scorer.score_all_pairs();
+  const std::size_t n = entries.size();
+  ASSERT_EQ(pairs.size(), n * (n - 1) / 2);
+  for (const PairScore& p : pairs) {
+    EXPECT_LT(p.a, p.b);
+    EXPECT_FLOAT_EQ(p.similarity, scores.at(p.a, p.b));
+  }
+}
+
+TEST(PairwiseScorer, ScoreAgainstMatchesJointMatrix) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 4u);
+  PairwiseScorer left;
+  PairwiseScorer right;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    auto& side = (i % 2 == 0) ? left : right;
+    side.add(entries[i].name, model.embed_inference(entries[i].tensors));
+  }
+  const tensor::Matrix cross = left.score_against(right);
+  ASSERT_EQ(cross.rows(), left.size());
+  ASSERT_EQ(cross.cols(), right.size());
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    for (std::size_t j = 0; j < right.size(); ++j) {
+      EXPECT_NEAR(cross.at(i, j),
+                  per_pair_cosine(model, entries[2 * i], entries[2 * j + 1]),
+                  1e-5F);
+    }
+  }
+}
+
+TEST(PairwiseScorer, FlagReturnsSortedPairsAboveDelta) {
+  PairwiseScorer scorer;
+  const tensor::Matrix e1 = tensor::Matrix::from_rows({{1, 0}});
+  const tensor::Matrix e2 = tensor::Matrix::from_rows({{1, 0.1F}});
+  const tensor::Matrix e3 = tensor::Matrix::from_rows({{0, 1}});
+  scorer.add("a", e1);
+  scorer.add("a_copy", e2);
+  scorer.add("other", e3);
+  const std::vector<PairScore> flagged = scorer.flag(0.5F);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].a, 0u);
+  EXPECT_EQ(flagged[0].b, 1u);
+  EXPECT_GT(flagged[0].similarity, 0.99F);
+  EXPECT_EQ(scorer.name(flagged[0].b), "a_copy");
+}
+
+TEST(PairwiseScorer, RejectsMismatchedEmbeddingDims) {
+  PairwiseScorer scorer;
+  scorer.add("a", tensor::Matrix(1, 4, 1.0F));
+  EXPECT_THROW(scorer.add("b", tensor::Matrix(1, 5, 1.0F)),
+               util::ContractViolation);
+  EXPECT_THROW(scorer.add("c", tensor::Matrix()), util::ContractViolation);
+}
+
+TEST(PairwiseScorer, BlockSizeDoesNotChangeScores) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ScorerOptions tiny;
+  tiny.block_rows = 1;
+  ScorerOptions big;
+  big.block_rows = 1024;
+  const auto s1 =
+      PairwiseScorer::from_entries(model, entries, tiny).score_matrix();
+  const auto s2 =
+      PairwiseScorer::from_entries(model, entries, big).score_matrix();
+  EXPECT_EQ(tensor::max_abs_diff(s1, s2), 0.0F);
+}
+
+}  // namespace
+}  // namespace gnn4ip::core

@@ -33,8 +33,8 @@ TEST(Matrix, FromRowsRejectsRagged) {
 
 TEST(Matrix, IndexOutOfRangeThrows) {
   Matrix m(2, 2);
-  EXPECT_THROW(m.at(2, 0), util::ContractViolation);
-  EXPECT_THROW(m.at(0, 2), util::ContractViolation);
+  EXPECT_THROW((void)m.at(2, 0), util::ContractViolation);
+  EXPECT_THROW((void)m.at(0, 2), util::ContractViolation);
 }
 
 TEST(Matrix, MatmulSmall) {

@@ -261,7 +261,7 @@ TEST(Parser, RejectsUnsupportedConstructs) {
 
 TEST(Parser, ReportsErrorLocation) {
   try {
-    parse("module m;\n  assign = 1;\nendmodule\n");
+    (void)parse("module m;\n  assign = 1;\nendmodule\n");
     FAIL() << "expected ParseError";
   } catch (const ParseError& e) {
     EXPECT_EQ(e.location().line, 2);
