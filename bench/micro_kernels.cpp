@@ -133,7 +133,9 @@ BENCHMARK(BM_SpmmMedium);
 // BM_PairwiseScoreBatched embeds each design once and scores every pair
 // from the cached matrix with the blocked multi-threaded kernel. Both
 // score the same 64-design corpus per iteration, so their per-iteration
-// times are directly comparable.
+// times are directly comparable. BM_EmbedCorpus isolates the embedding
+// phase — the audit-path bottleneck once scoring is batched — across
+// worker counts; embeddings are bit-identical for every Arg.
 
 constexpr std::size_t kScoringCorpusSize = 64;
 
@@ -147,6 +149,48 @@ const std::vector<train::GraphEntry>& scoring_corpus() {
   }();
   return entries;
 }
+
+void BM_EmbedCorpus(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  gnn::Hw2Vec model;
+  core::ScorerOptions options;
+  options.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const core::PairwiseScorer scorer =
+        core::PairwiseScorer::from_entries(model, entries, options);
+    benchmark::DoNotOptimize(scorer.size());
+  }
+  state.counters["designs"] = static_cast<double>(entries.size());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EmbedCorpus)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Cold-cache variant of the single-thread corpus embed: the pooled
+// adjacency memo is reset every iteration, so this is the cost of a
+// one-shot audit of a never-seen corpus (BM_EmbedCorpus above reports
+// the warm steady state of a resident corpus).
+void BM_EmbedCorpusCold(benchmark::State& state) {
+  std::vector<train::GraphEntry> entries = scoring_corpus();  // own copy
+  gnn::Hw2Vec model;
+  core::ScorerOptions options;
+  options.num_threads = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (train::GraphEntry& e : entries) {
+      e.tensors.pooled_cache = std::make_shared<gnn::PooledAdjCache>();
+    }
+    state.ResumeTiming();
+    const core::PairwiseScorer scorer =
+        core::PairwiseScorer::from_entries(model, entries, options);
+    benchmark::DoNotOptimize(scorer.size());
+  }
+  state.counters["designs"] = static_cast<double>(entries.size());
+}
+BENCHMARK(BM_EmbedCorpusCold)->Unit(benchmark::kMillisecond);
 
 void BM_PairwiseScoreNaivePerPair(benchmark::State& state) {
   const std::vector<train::GraphEntry>& entries = scoring_corpus();

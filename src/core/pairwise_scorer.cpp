@@ -1,12 +1,10 @@
 #include "core/pairwise_scorer.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <functional>
-#include <thread>
 
 #include "util/contract.h"
+#include "util/thread_pool.h"
 
 namespace gnn4ip::core {
 namespace {
@@ -28,34 +26,6 @@ constexpr float kNormFloor = 1e-8F;
   return norms;
 }
 
-/// Run `run_tile(t)` for t in [0, tile_count) across `num_threads`
-/// workers. Tiles are claimed through an atomic counter, so the schedule
-/// adapts to uneven tile cost; every cell's value is computed the same
-/// way regardless of which worker claims it.
-void parallel_tiles(std::size_t tile_count, std::size_t num_threads,
-                    const std::function<void(std::size_t)>& run_tile) {
-  if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-  }
-  num_threads = std::min(num_threads, tile_count);
-  if (num_threads <= 1) {
-    for (std::size_t t = 0; t < tile_count; ++t) run_tile(t);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (std::size_t t = next.fetch_add(1); t < tile_count;
-         t = next.fetch_add(1)) {
-      run_tile(t);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(num_threads - 1);
-  for (std::size_t w = 1; w < num_threads; ++w) pool.emplace_back(worker);
-  worker();
-  for (std::thread& th : pool) th.join();
-}
-
 }  // namespace
 
 tensor::Matrix cosine_rows(const tensor::Matrix& a, const tensor::Matrix& b,
@@ -73,8 +43,7 @@ tensor::Matrix cosine_rows(const tensor::Matrix& a, const tensor::Matrix& b,
   const std::size_t col_tiles = (b.rows() + block - 1) / block;
   const std::size_t dim = a.cols();
 
-  parallel_tiles(row_tiles * col_tiles, options.num_threads,
-                 [&](std::size_t tile) {
+  const auto run_tile = [&](std::size_t tile) {
     const std::size_t i0 = (tile / col_tiles) * block;
     const std::size_t j0 = (tile % col_tiles) * block;
     const std::size_t i1 = std::min(i0 + block, a.rows());
@@ -90,7 +59,8 @@ tensor::Matrix cosine_rows(const tensor::Matrix& a, const tensor::Matrix& b,
         out[j] = std::clamp(acc / denom, -1.0F, 1.0F);
       }
     }
-  });
+  };
+  util::parallel_for(row_tiles * col_tiles, options.num_threads, run_tile);
   return result;
 }
 
@@ -102,8 +72,18 @@ PairwiseScorer PairwiseScorer::from_entries(
     const ScorerOptions& options) {
   PairwiseScorer scorer(options);
   scorer.names_.reserve(entries.size());
-  for (const train::GraphEntry& entry : entries) {
-    scorer.add(entry.name, model.embed_inference(entry.tensors));
+  // Graphs are independent, so the embedding phase fans out over the
+  // worker pool; each worker fills only its own slot and the rows are
+  // appended in corpus order afterwards, so the cache is bit-identical
+  // for any worker count. Inference only reads the model weights, which
+  // makes the shared `model` safe to use concurrently.
+  std::vector<tensor::Matrix> embeddings(entries.size());
+  const auto embed_one = [&](std::size_t i) {
+    embeddings[i] = model.embed_inference(entries[i].tensors);
+  };
+  util::parallel_for(entries.size(), options.num_threads, embed_one);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    scorer.add(entries[i].name, embeddings[i]);
   }
   return scorer;
 }

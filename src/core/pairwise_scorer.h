@@ -30,7 +30,9 @@
 namespace gnn4ip::core {
 
 struct ScorerOptions {
-  /// Worker threads for the blocked kernel. 0 = hardware concurrency.
+  /// Worker threads for the embedding fan-out and the blocked kernel.
+  /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
+  /// concurrency). Results are bit-identical for any value.
   std::size_t num_threads = 0;
   /// Rows per tile of the blocked kernel. Tiles are the unit of work
   /// handed to threads; 64 rows of a 16-wide embedding fit comfortably
@@ -56,7 +58,8 @@ class PairwiseScorer {
  public:
   explicit PairwiseScorer(const ScorerOptions& options = {});
 
-  /// Embed every entry once through `model` and cache the rows.
+  /// Embed every entry once through `model` (fanned out over the worker
+  /// pool; graphs are independent) and cache the rows in corpus order.
   [[nodiscard]] static PairwiseScorer from_entries(
       gnn::Hw2Vec& model, std::span<const train::GraphEntry> entries,
       const ScorerOptions& options = {});

@@ -1,5 +1,6 @@
 #include "gnn/featurize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -8,20 +9,47 @@
 
 namespace gnn4ip::gnn {
 
+std::shared_ptr<const tensor::Csr> PooledAdjCache::find(
+    const std::vector<std::size_t>& kept) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(kept);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void PooledAdjCache::insert(const std::vector<std::size_t>& kept,
+                            std::shared_ptr<const tensor::Csr> adj) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= kMaxEntries &&
+      entries_.find(kept) == entries_.end()) {
+    return;  // full: keep the resident (typically inference-stable) keys
+  }
+  entries_[kept] = std::move(adj);
+}
+
+std::size_t PooledAdjCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
 std::shared_ptr<const tensor::Csr> normalized_adjacency(
     std::size_t num_nodes,
     const std::vector<std::pair<std::size_t, std::size_t>>& edges,
     bool symmetrize) {
   GNN4IP_ENSURE(num_nodes > 0, "normalized_adjacency on empty graph");
-  // Deduplicate structural entries of Â.
-  std::set<std::pair<std::size_t, std::size_t>> entries;
-  for (std::size_t v = 0; v < num_nodes; ++v) entries.insert({v, v});
+  // Structural entries of Â: self-loops + edges (+ reverses), then
+  // sort/unique — cheaper than a node-per-entry ordered set on the
+  // per-forward pooled-subgraph path.
+  std::vector<std::pair<std::size_t, std::size_t>> entries;
+  entries.reserve(num_nodes + edges.size() * (symmetrize ? 2 : 1));
+  for (std::size_t v = 0; v < num_nodes; ++v) entries.emplace_back(v, v);
   for (const auto& [src, dst] : edges) {
     GNN4IP_ENSURE(src < num_nodes && dst < num_nodes,
                   "edge endpoint out of range");
-    entries.insert({src, dst});
-    if (symmetrize) entries.insert({dst, src});
+    entries.emplace_back(src, dst);
+    if (symmetrize) entries.emplace_back(dst, src);
   }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
   // Degrees of Â.
   std::vector<float> degree(num_nodes, 0.0F);
   for (const auto& [r, c] : entries) degree[r] += 1.0F;
@@ -59,6 +87,7 @@ GraphTensors featurize(const graph::Digraph& g,
   }
   t.edges.assign(dedup.begin(), dedup.end());
   t.adj = normalized_adjacency(t.num_nodes, t.edges, options.symmetrize);
+  t.pooled_cache = std::make_shared<PooledAdjCache>();
   return t;
 }
 

@@ -2,9 +2,18 @@
 // (node kind vocabulary, paper §III-C "directly converting the node's
 // name to its corresponding one-hot vector") and the symmetric-normalized
 // adjacency D̂^{-1/2} Â D̂^{-1/2} with Â = A + I of Eq. 5.
+//
+// Both normalized adjacencies a forward pass needs are cached per
+// graph: the full-graph operator is built once at featurize time, and
+// the pooled-subgraph operator (SAGPool re-induces and re-normalizes
+// the kept nodes) is memoized in PooledAdjCache keyed by the kept set —
+// so a forward pass multiplies by cached normalized CSRs instead of
+// renormalizing.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -21,15 +30,39 @@ struct FeaturizeOptions {
   bool symmetrize = true;
 };
 
+/// Thread-safe memo of pooled (re-induced, re-normalized) adjacencies,
+/// keyed by the sorted kept-node set. At inference the SAGPool top-k
+/// selection is a pure function of the fixed weights, so every embed of
+/// the same graph re-derives the same kept set and the renormalization
+/// is paid once per graph instead of once per forward pass. The memo is
+/// bounded: during training the kept set drifts with the scorer weights,
+/// and unbounded growth would just cache stale selections.
+class PooledAdjCache {
+ public:
+  [[nodiscard]] std::shared_ptr<const tensor::Csr> find(
+      const std::vector<std::size_t>& kept) const;
+  void insert(const std::vector<std::size_t>& kept,
+              std::shared_ptr<const tensor::Csr> adj);
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  static constexpr std::size_t kMaxEntries = 64;
+  mutable std::mutex mu_;
+  std::map<std::vector<std::size_t>, std::shared_ptr<const tensor::Csr>>
+      entries_;
+};
+
 /// Tensors for one graph. `edges` is the (deduplicated, self-loop-free)
 /// directed edge list used to rebuild pooled adjacencies after top-k
-/// filtering.
+/// filtering. Copies share the pooled-adjacency memo (shared_ptr), so a
+/// corpus entry passed around by value keeps its cache.
 struct GraphTensors {
   tensor::Matrix x;  // N × kNodeKindCount
   std::shared_ptr<const tensor::Csr> adj;
   std::vector<std::pair<std::size_t, std::size_t>> edges;
   std::size_t num_nodes = 0;
   bool symmetrize = true;
+  std::shared_ptr<PooledAdjCache> pooled_cache;
 };
 
 /// Build tensors from a DFG whose node kinds are dfg::NodeKind values.

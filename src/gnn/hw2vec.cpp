@@ -38,9 +38,9 @@ tensor::Var Hw2Vec::embed(tensor::Tape& tape, const GraphTensors& g,
     x = convs_[l].forward(tape, g.adj, x, apply_relu);
     x = tape.dropout(x, config_.dropout, dropout_rng, training);
   }
-  // Attention-based top-k pooling.
-  SagPool::Result pooled =
-      pool_.forward(tape, g.adj, g.edges, x, g.symmetrize);
+  // Attention-based top-k pooling (pooled adjacency served from the
+  // graph's cache when the kept set recurs).
+  SagPool::Result pooled = pool_.forward(tape, g, x);
   // Read-out phase (Eq. 3).
   return apply_readout(tape, pooled.x, config_.readout);
 }

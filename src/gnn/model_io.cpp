@@ -14,12 +14,17 @@ namespace {
 }  // namespace
 
 void save_model(std::ostream& os, Hw2Vec& model) {
+  // Float round-trips exactly at 9 significant digits; restore the
+  // caller's precision afterwards.
+  const std::streamsize saved_precision = os.precision(9);
   const Hw2VecConfig& c = model.config();
-  os << "hw2vec-model v1\n";
+  os << kModelMagic << " v" << kModelFormatVersion << '\n';
   os << "config " << c.input_dim << ' ' << c.hidden_dim << ' '
      << c.num_layers << ' ' << c.pool_ratio << ' ' << to_string(c.readout)
      << ' ' << c.dropout << ' ' << (c.symmetrize_adjacency ? 1 : 0) << '\n';
-  for (tensor::Parameter* p : model.parameters()) {
+  const std::vector<tensor::Parameter*> params = model.parameters();
+  os << "params " << params.size() << '\n';
+  for (tensor::Parameter* p : params) {
     os << "param " << p->value.rows() << ' ' << p->value.cols() << '\n';
     for (std::size_t r = 0; r < p->value.rows(); ++r) {
       const auto row = p->value.row(r);
@@ -30,6 +35,8 @@ void save_model(std::ostream& os, Hw2Vec& model) {
       os << '\n';
     }
   }
+  os << "end\n";
+  os.precision(saved_precision);
 }
 
 void save_model_file(const std::string& path, Hw2Vec& model) {
@@ -37,14 +44,26 @@ void save_model_file(const std::string& path, Hw2Vec& model) {
   if (!os) {
     throw std::runtime_error("cannot open '" + path + "' for writing");
   }
-  os.precision(9);
   save_model(os, model);
 }
 
 Hw2Vec load_model(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != "hw2vec-model v1") {
-    malformed("missing header");
+  if (!std::getline(is, line)) malformed("empty stream");
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    std::string version;
+    ls >> magic >> version;
+    if (magic != kModelMagic) {
+      malformed("missing '" + std::string(kModelMagic) +
+                "' magic header (not a model stream?)");
+    }
+    const std::string expected = "v" + std::to_string(kModelFormatVersion);
+    if (version != expected) {
+      malformed("unsupported format version '" + version +
+                "'; this build reads " + expected);
+    }
   }
   if (!std::getline(is, line)) malformed("missing config");
   Hw2VecConfig config;
@@ -63,7 +82,22 @@ Hw2Vec load_model(std::istream& is) {
     config.symmetrize_adjacency = symmetrize != 0;
   }
   Hw2Vec model(config);
-  for (tensor::Parameter* p : model.parameters()) {
+  const std::vector<tensor::Parameter*> params = model.parameters();
+  {
+    if (!std::getline(is, line)) malformed("missing params count");
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t declared = 0;
+    if (!(ls >> tag >> declared) || tag != "params") {
+      malformed("bad params line");
+    }
+    if (declared != params.size()) {
+      malformed("stream declares " + std::to_string(declared) +
+                " parameter blocks but the config implies " +
+                std::to_string(params.size()) + " (config drift?)");
+    }
+  }
+  for (tensor::Parameter* p : params) {
     if (!std::getline(is, line)) malformed("missing param block");
     std::istringstream ls(line);
     std::string tag;
@@ -73,7 +107,9 @@ Hw2Vec load_model(std::istream& is) {
       malformed("bad param line");
     }
     if (rows != p->value.rows() || cols != p->value.cols()) {
-      malformed("param shape mismatch against config");
+      malformed("param shape " + std::to_string(rows) + "x" +
+                std::to_string(cols) + " does not match the config's " +
+                p->value.shape_string() + " (config drift?)");
     }
     for (std::size_t r = 0; r < rows; ++r) {
       if (!std::getline(is, line)) malformed("truncated param rows");
@@ -83,6 +119,9 @@ Hw2Vec load_model(std::istream& is) {
         if (!(vs >> row[c])) malformed("truncated param row");
       }
     }
+  }
+  if (!std::getline(is, line) || line != "end") {
+    malformed("missing 'end' sentinel (truncated stream?)");
   }
   return model;
 }

@@ -15,15 +15,15 @@ SagPool::SagPool(std::size_t dim, float ratio, util::Rng& rng)
                 "pooling ratio must be in (0, 1]");
 }
 
-SagPool::Result SagPool::forward(
-    tensor::Tape& tape, std::shared_ptr<const tensor::Csr> adj,
-    const std::vector<std::pair<std::size_t, std::size_t>>& edges,
-    tensor::Var x, bool symmetrize) {
+SagPool::Result SagPool::forward(tensor::Tape& tape, const GraphTensors& g,
+                                 tensor::Var x) {
   const std::size_t n = x.value().rows();
   GNN4IP_ENSURE(n > 0, "SagPool on empty graph");
+  GNN4IP_ENSURE(n == g.num_nodes,
+                "SagPool: node embedding rows != graph node count");
 
   // α = SCORE(X, A): one-channel GCN, no ReLU (gate activation is tanh).
-  tensor::Var alpha = scorer_.forward(tape, adj, x, /*apply_relu=*/false);
+  tensor::Var alpha = scorer_.forward(tape, g.adj, x, /*apply_relu=*/false);
   tensor::Var gate = tape.tanh_op(alpha);
 
   // Top-k selection on the raw scores (selection itself is
@@ -49,11 +49,13 @@ SagPool::Result SagPool::forward(
   tensor::Var gate_kept = tape.select_rows(gate, kept);
   tensor::Var x_pool = tape.scale_rows(x_kept, gate_kept);
 
-  // Re-induce edges on the kept set and re-normalize.
+  // Re-induce edges on the kept set. The re-normalized pooled operator
+  // is a pure function of (graph, kept), so serve it from the graph's
+  // memo when the same kept set recurs instead of renormalizing.
   std::vector<std::size_t> remap(n, static_cast<std::size_t>(-1));
   for (std::size_t i = 0; i < kept.size(); ++i) remap[kept[i]] = i;
   std::vector<std::pair<std::size_t, std::size_t>> pooled_edges;
-  for (const auto& [src, dst] : edges) {
+  for (const auto& [src, dst] : g.edges) {
     const std::size_t s = remap[src];
     const std::size_t d = remap[dst];
     if (s != static_cast<std::size_t>(-1) &&
@@ -64,7 +66,12 @@ SagPool::Result SagPool::forward(
 
   Result result;
   result.x = x_pool;
-  result.adj = normalized_adjacency(kept.size(), pooled_edges, symmetrize);
+  if (g.pooled_cache) result.adj = g.pooled_cache->find(kept);
+  if (!result.adj) {
+    result.adj =
+        normalized_adjacency(kept.size(), pooled_edges, g.symmetrize);
+    if (g.pooled_cache) g.pooled_cache->insert(kept, result.adj);
+  }
   result.edges = std::move(pooled_edges);
   result.kept = std::move(kept);
   return result;

@@ -4,13 +4,16 @@
 //   α = SCORE(X_prop, A_prop)
 // The top ⌈ratio·N⌉ nodes by α are kept; the surviving node features are
 // gated by tanh(α) so the scorer receives gradient, and the adjacency is
-// re-induced on the kept nodes and re-normalized.
+// re-induced on the kept nodes. The re-normalized pooled operator is
+// served from the graph's PooledAdjCache when the same kept set recurs
+// (always, at inference), instead of being rebuilt every forward pass.
 #pragma once
 
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "gnn/featurize.h"
 #include "gnn/gcn_layer.h"
 #include "tensor/tape.h"
 
@@ -29,10 +32,11 @@ class SagPool {
     std::vector<std::size_t> kept;               // original node indices
   };
 
-  [[nodiscard]] Result forward(
-      tensor::Tape& tape, std::shared_ptr<const tensor::Csr> adj,
-      const std::vector<std::pair<std::size_t, std::size_t>>& edges,
-      tensor::Var x, bool symmetrize);
+  /// Pool the propagated node embeddings `x` (one row per node of `g`).
+  /// Reads the graph structure — adjacency, edge list, symmetrize flag,
+  /// pooled-adjacency memo — from `g`.
+  [[nodiscard]] Result forward(tensor::Tape& tape, const GraphTensors& g,
+                               tensor::Var x);
 
   [[nodiscard]] GcnLayer& scorer() { return scorer_; }
   [[nodiscard]] const GcnLayer& scorer() const { return scorer_; }

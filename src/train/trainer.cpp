@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "util/contract.h"
+#include "util/thread_pool.h"
 
 namespace gnn4ip::train {
 namespace {
@@ -185,11 +186,13 @@ EpochStats Trainer::train_epoch_pair_batch() {
 }
 
 std::vector<tensor::Matrix> Trainer::embed_all() {
-  std::vector<tensor::Matrix> embeddings;
-  embeddings.reserve(dataset_.graphs().size());
-  for (const GraphEntry& entry : dataset_.graphs()) {
-    embeddings.push_back(model_.embed_inference(entry.tensors));
-  }
+  // Graphs are independent; each worker fills only its own slot, so the
+  // result is bit-identical for any worker count.
+  std::vector<tensor::Matrix> embeddings(dataset_.graphs().size());
+  const auto embed_one = [&](std::size_t g) {
+    embeddings[g] = model_.embed_inference(dataset_.graphs()[g].tensors);
+  };
+  util::parallel_for(embeddings.size(), config_.num_threads, embed_one);
   return embeddings;
 }
 

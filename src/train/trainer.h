@@ -39,6 +39,10 @@ struct TrainConfig {
   OptimizerKind optimizer = OptimizerKind::kAdam;
   double test_fraction = 0.2;      // paper §IV-A
   std::uint64_t seed = 7;
+  /// Worker threads for the embed_all fan-out (evaluation / scoring).
+  /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
+  /// concurrency). Embeddings are bit-identical for any value.
+  std::size_t num_threads = 0;
 };
 
 struct EpochStats {
@@ -75,15 +79,17 @@ class Trainer {
   [[nodiscard]] std::vector<float> score_pairs(
       const std::vector<std::size_t>& pair_indices);
 
+  /// Embed every dataset graph once (inference mode), fanned out over
+  /// the worker pool (TrainConfig::num_threads); returns row-matrix h_G
+  /// per graph index, bit-identical for any worker count.
+  [[nodiscard]] std::vector<tensor::Matrix> embed_all();
+
   [[nodiscard]] const PairDataset::Split& split() const { return split_; }
   [[nodiscard]] float tuned_delta() const { return tuned_delta_; }
 
  private:
   EpochStats train_epoch_graph_batch();
   EpochStats train_epoch_pair_batch();
-  /// Embed every graph once (inference mode); returns row-matrix h_G per
-  /// graph index.
-  [[nodiscard]] std::vector<tensor::Matrix> embed_all();
 
   gnn::Hw2Vec& model_;
   const PairDataset& dataset_;

@@ -1,0 +1,120 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gnn4ip::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  std::size_t n = num_threads == 0 ? default_thread_count() : num_threads;
+  n = std::max<std::size_t>(n, 1);
+  workers_.reserve(n - 1);
+  for (std::size_t w = 1; w < n; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t last_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (fn_ != nullptr && epoch_ != last_epoch);
+    });
+    if (stop_) return;
+    last_epoch = epoch_;
+    ++active_;
+    lock.unlock();
+    run_current_batch();
+    lock.lock();
+    --active_;
+    if (active_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run_current_batch() {
+  for (std::size_t i = next_.fetch_add(1); i < count_;
+       i = next_.fetch_add(1)) {
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      next_.store(count_);  // abandon the remaining indices
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // One batch at a time: a second caller would otherwise overwrite the
+  // in-flight batch state below.
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0);
+    first_error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  run_current_batch();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("GNN4IP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads == 0) {
+    ThreadPool::shared().parallel_for(count, fn);
+    return;
+  }
+  if (num_threads == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // No point spawning more transient workers than there are indices.
+  ThreadPool local(std::min(num_threads, count));
+  local.parallel_for(count, fn);
+}
+
+}  // namespace gnn4ip::util

@@ -1,0 +1,81 @@
+// Reusable worker pool for embarrassingly-parallel index loops.
+//
+// The embedding pipeline fans out over independent graphs
+// (PairwiseScorer::from_entries, Trainer::embed_all) and over tiles of
+// the blocked cosine kernel. Workers claim indices through an atomic
+// counter, so the schedule adapts to uneven per-index cost; because
+// every index writes only its own output slot, results are bit-identical
+// for any worker count — parallelism never changes the arithmetic.
+//
+// Thread-count resolution: an explicit count wins; 0 defers to the
+// GNN4IP_THREADS environment variable, then to hardware concurrency.
+// A process-wide pool (ThreadPool::shared()) serves the default case so
+// repeated fan-outs reuse the same threads instead of respawning them.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gnn4ip::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads − 1` persistent workers (the caller of
+  /// parallel_for is always the remaining worker). 0 resolves through
+  /// default_thread_count(). A pool of size 1 runs everything inline.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total workers including the calling thread.
+  [[nodiscard]] std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i) for every i in [0, count), blocking until all complete.
+  /// The first exception thrown by any fn(i) is rethrown here (remaining
+  /// indices are abandoned). Concurrent external callers are serialized
+  /// (the pool runs one batch at a time), so the shared() pool is safe
+  /// to use from several application threads. Not reentrant: fn must
+  /// not call back into the same pool.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// GNN4IP_THREADS if set to a positive integer, else hardware
+  /// concurrency (at least 1).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+  /// Process-wide pool sized by default_thread_count().
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+  void run_current_batch();
+
+  std::mutex batch_mu_;  // serializes external parallel_for callers
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Batch state, guarded by mu_ except the atomic claim counter.
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience fan-out: num_threads == 0 uses ThreadPool::shared();
+/// 1 runs inline; any other count runs on a transient pool of that size
+/// (used by tests and benches that pin the worker count).
+void parallel_for(std::size_t count, std::size_t num_threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace gnn4ip::util

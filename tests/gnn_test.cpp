@@ -134,7 +134,7 @@ TEST(SagPool, KeepsCeilRatioNodes) {
   tensor::Tape tape;
   tensor::Var x = tape.constant(t.x);
   tensor::Var h = embed.forward(tape, t.adj, x);
-  const SagPool::Result r = pool.forward(tape, t.adj, t.edges, h, true);
+  const SagPool::Result r = pool.forward(tape, t, h);
   EXPECT_EQ(r.kept.size(), 2u);  // ceil(0.5 * 4)
   EXPECT_EQ(r.x.value().rows(), 2u);
   EXPECT_EQ(r.adj->rows(), 2u);
@@ -148,7 +148,7 @@ TEST(SagPool, RatioOneKeepsAll) {
   tensor::Tape tape;
   tensor::Var x = tape.constant(t.x);
   tensor::Var h = embed.forward(tape, t.adj, x);
-  const SagPool::Result r = pool.forward(tape, t.adj, t.edges, h, true);
+  const SagPool::Result r = pool.forward(tape, t, h);
   EXPECT_EQ(r.kept.size(), 4u);
 }
 
@@ -160,12 +160,40 @@ TEST(SagPool, PooledEdgesAreInduced) {
   tensor::Tape tape;
   tensor::Var x = tape.constant(t.x);
   tensor::Var h = embed.forward(tape, t.adj, x);
-  const SagPool::Result r = pool.forward(tape, t.adj, t.edges, h, true);
+  const SagPool::Result r = pool.forward(tape, t, h);
   // Every pooled edge's endpoints must be within range.
   for (const auto& [s, d] : r.edges) {
     EXPECT_LT(s, r.kept.size());
     EXPECT_LT(d, r.kept.size());
   }
+}
+
+TEST(SagPool, PooledAdjacencyServedFromCacheOnRepeat) {
+  util::Rng rng(8);
+  SagPool pool(4, 0.5F, rng);
+  GcnLayer embed(static_cast<std::size_t>(dfg::kNodeKindCount), 4, rng);
+  const GraphTensors t = featurize(tiny_graph());
+  ASSERT_NE(t.pooled_cache, nullptr);
+  EXPECT_EQ(t.pooled_cache->size(), 0u);
+
+  tensor::Tape tape;
+  tensor::Var x = tape.constant(t.x);
+  tensor::Var h = embed.forward(tape, t.adj, x);
+  const SagPool::Result r1 = pool.forward(tape, t, h);
+  EXPECT_EQ(t.pooled_cache->size(), 1u);
+  // Same weights, same graph -> same kept set -> the cached CSR object
+  // itself is returned, and no new entry appears.
+  const SagPool::Result r2 = pool.forward(tape, t, h);
+  EXPECT_EQ(t.pooled_cache->size(), 1u);
+  EXPECT_EQ(r1.adj.get(), r2.adj.get());
+  EXPECT_EQ(r1.kept, r2.kept);
+  // A cache-less GraphTensors still works (computed directly).
+  GraphTensors bare = t;
+  bare.pooled_cache = nullptr;
+  const SagPool::Result r3 = pool.forward(tape, bare, h);
+  EXPECT_EQ(r3.kept, r1.kept);
+  EXPECT_EQ(tensor::max_abs_diff(r3.adj->to_dense(), r1.adj->to_dense()),
+            0.0F);
 }
 
 TEST(SagPool, InvalidRatioRejected) {

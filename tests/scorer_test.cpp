@@ -83,6 +83,24 @@ TEST(PairwiseScorer, ScoresIdenticalAcross1And2And8Threads) {
             0.0F);
 }
 
+TEST(PairwiseScorer, EmbeddingsIdenticalAcross1And2And8Workers) {
+  // from_entries fans the embedding phase out over the worker pool; the
+  // cached N×D matrix must be bit-identical for any worker count.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  std::vector<tensor::Matrix> per_count;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ScorerOptions options;
+    options.num_threads = threads;
+    per_count.push_back(
+        PairwiseScorer::from_entries(model, entries, options)
+            .embedding_matrix());
+  }
+  ASSERT_EQ(per_count.size(), 3u);
+  EXPECT_EQ(tensor::max_abs_diff(per_count[0], per_count[1]), 0.0F);
+  EXPECT_EQ(tensor::max_abs_diff(per_count[0], per_count[2]), 0.0F);
+}
+
 TEST(PairwiseScorer, MatchesPerPairPathWithin1e5) {
   gnn::Hw2Vec model;
   const auto entries = small_corpus();

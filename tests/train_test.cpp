@@ -248,6 +248,30 @@ TEST(Trainer, PairBatchModeAlsoTrains) {
   EXPECT_GT(stats.pairs_seen, 0u);
 }
 
+TEST(Trainer, EmbedAllIdenticalAcross1And2And8Workers) {
+  // The parallel embed_all fan-out must never change the embeddings:
+  // same model, same graphs, any worker count -> bit-identical rows.
+  const PairDataset ds = PairDataset::all_pairs(toy_entries(3, 4));
+  std::vector<std::vector<tensor::Matrix>> per_count;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    gnn::Hw2VecConfig mc;
+    mc.hidden_dim = 8;
+    mc.seed = 21;
+    gnn::Hw2Vec model(mc);
+    TrainConfig tc;
+    tc.seed = 22;
+    tc.num_threads = threads;
+    Trainer trainer(model, ds, tc);
+    per_count.push_back(trainer.embed_all());
+  }
+  ASSERT_EQ(per_count.size(), 3u);
+  ASSERT_EQ(per_count[0].size(), ds.graphs().size());
+  for (std::size_t g = 0; g < per_count[0].size(); ++g) {
+    EXPECT_EQ(tensor::max_abs_diff(per_count[0][g], per_count[1][g]), 0.0F);
+    EXPECT_EQ(tensor::max_abs_diff(per_count[0][g], per_count[2][g]), 0.0F);
+  }
+}
+
 TEST(Trainer, ScorePairsMatchesEvaluateScores) {
   gnn::Hw2VecConfig mc;
   mc.hidden_dim = 8;

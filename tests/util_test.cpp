@@ -1,13 +1,20 @@
-// Tests for contract checking, string helpers, and the deterministic RNG.
+// Tests for contract checking, string helpers, the deterministic RNG,
+// and the worker pool behind the parallel embedding pipeline.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/contract.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace gnn4ip::util {
 namespace {
@@ -158,6 +165,116 @@ TEST(Rng, UniformRange) {
     EXPECT_GE(x, -2.0F);
     EXPECT_LT(x, 3.0F);
   }
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.size(), workers);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 45u);
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsNoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  for (const std::size_t workers : {1u, 4u}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t i) {
+                            if (i == 17) throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(4, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 6u);
+  }
+}
+
+TEST(ThreadPool, ConcurrentExternalCallersAreSerialized) {
+  // Two application threads sharing one pool must not corrupt each
+  // other's batches (batch state is one slot; callers serialize).
+  ThreadPool pool(4);
+  std::vector<std::size_t> a(200, 0);
+  std::vector<std::size_t> b(200, 0);
+  std::thread caller_a([&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      pool.parallel_for(a.size(), [&](std::size_t i) { a[i] = i + 1; });
+    }
+  });
+  std::thread caller_b([&] {
+    for (int rep = 0; rep < 20; ++rep) {
+      pool.parallel_for(b.size(), [&](std::size_t i) { b[i] = i + 7; });
+    }
+  });
+  caller_a.join();
+  caller_b.join();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], i + 1);
+    EXPECT_EQ(b[i], i + 7);
+  }
+}
+
+TEST(ThreadPool, DeterministicSlotWritesForAnyWorkerCount) {
+  // The fan-out contract: worker count never changes per-index results.
+  auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(64);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 100; ++k) acc += std::sin(i + k * 0.1);
+      out[i] = acc;
+    });
+    return out;
+  };
+  const std::vector<double> one = run(1);
+  const std::vector<double> two = run(2);
+  const std::vector<double> eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnvKnob) {
+  ASSERT_EQ(setenv("GNN4IP_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3u);
+  ASSERT_EQ(setenv("GNN4IP_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ASSERT_EQ(unsetenv("GNN4IP_THREADS"), 0);
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, ExplicitCountsAndSharedPoolAgree) {
+  auto run = [](std::size_t num_threads) {
+    std::vector<std::size_t> out(32);
+    parallel_for(out.size(), num_threads,
+                 [&](std::size_t i) { out[i] = i * i; });
+    return out;
+  };
+  const auto expected = run(1);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(8), expected);
+  EXPECT_EQ(run(0), expected);  // shared pool
 }
 
 }  // namespace
