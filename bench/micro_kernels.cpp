@@ -13,6 +13,7 @@
 #include "core/pairwise_scorer.h"
 #include "data/corpus.h"
 #include "data/rtl_designs.h"
+#include "train/trainer.h"
 #include "verilog/parser.h"
 
 namespace {
@@ -149,6 +150,32 @@ const std::vector<train::GraphEntry>& scoring_corpus() {
   }();
   return entries;
 }
+
+// One data-parallel training epoch (graph-batch mode) over the 64-design
+// corpus across worker counts. Gradients reduce in fixed graph order, so
+// every Arg trains the exact same trajectory — the axis shows pure
+// thread scaling of the per-graph forward/backward fan-out.
+void BM_TrainEpoch(benchmark::State& state) {
+  const train::PairDataset dataset =
+      train::PairDataset::all_pairs(scoring_corpus());
+  gnn::Hw2Vec model;
+  train::TrainConfig tc;
+  tc.batch_graphs = 16;
+  tc.max_steps_per_epoch = 4;
+  tc.num_threads = static_cast<std::size_t>(state.range(0));
+  train::Trainer trainer(model, dataset, tc);
+  for (auto _ : state) {
+    const train::EpochStats stats = trainer.train_epoch();
+    benchmark::DoNotOptimize(stats.mean_loss);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["graphs"] = static_cast<double>(dataset.graphs().size());
+}
+BENCHMARK(BM_TrainEpoch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_EmbedCorpus(benchmark::State& state) {
   const std::vector<train::GraphEntry>& entries = scoring_corpus();

@@ -77,9 +77,13 @@ PairwiseScorer PairwiseScorer::from_entries(
   // appended in corpus order afterwards, so the cache is bit-identical
   // for any worker count. Inference only reads the model weights, which
   // makes the shared `model` safe to use concurrently.
+  // Each worker thread reuses one tape across all the graphs it claims
+  // (reset() keeps the node vector's capacity), rather than paying a
+  // fresh tape allocation per graph.
   std::vector<tensor::Matrix> embeddings(entries.size());
   const auto embed_one = [&](std::size_t i) {
-    embeddings[i] = model.embed_inference(entries[i].tensors);
+    static thread_local tensor::Tape tape;
+    embeddings[i] = model.embed_inference(tape, entries[i].tensors);
   };
   util::parallel_for(entries.size(), options.num_threads, embed_one);
   for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -124,6 +128,63 @@ tensor::Matrix PairwiseScorer::score_matrix() const {
 tensor::Matrix PairwiseScorer::score_against(
     const PairwiseScorer& other) const {
   return cosine_rows(embedding_matrix(), other.embedding_matrix(), options_);
+}
+
+tensor::Matrix PairwiseScorer::score_new_rows(std::size_t first_new) const {
+  GNN4IP_ENSURE(first_new <= size(),
+                "score_new_rows: first_new past the corpus end");
+  const std::size_t n = size();
+  const std::size_t new_rows = n - first_new;
+  tensor::Matrix result(new_rows, n);
+  if (new_rows == 0) return result;
+  // Rows are read straight out of the resident cache — no N×D copy — so
+  // screening ΔN incoming designs really is O(ΔN·N·D). Norms and dot
+  // products use the same accumulation order as cosine_rows, keeping the
+  // rows bit-identical to the matching score_matrix() rows.
+  std::vector<float> norms(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = data_.data() + i * dim_;
+    float sq = 0.0F;
+    for (std::size_t k = 0; k < dim_; ++k) sq += row[k] * row[k];
+    norms[i] = std::sqrt(sq);
+  }
+  for (std::size_t r = 0; r < new_rows; ++r) {
+    const float* ra = data_.data() + (first_new + r) * dim_;
+    const std::span<float> out = result.row(r);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* rb = data_.data() + j * dim_;
+      float acc = 0.0F;
+      for (std::size_t k = 0; k < dim_; ++k) acc += ra[k] * rb[k];
+      const float denom =
+          std::max(norms[first_new + r] * norms[j], kNormFloor);
+      out[j] = std::clamp(acc / denom, -1.0F, 1.0F);
+    }
+  }
+  return result;
+}
+
+std::vector<PairScore> PairwiseScorer::top_k(std::size_t i,
+                                             std::size_t k) const {
+  GNN4IP_ENSURE(i < size(), "top_k: row index out of range");
+  // One row against the cache via the same per-cell arithmetic as
+  // score() / cosine_rows, so retrieval agrees bit-for-bit with the
+  // batch paths.
+  std::vector<PairScore> neighbours;
+  neighbours.reserve(size() > 0 ? size() - 1 : 0);
+  for (std::size_t j = 0; j < size(); ++j) {
+    if (j == i) continue;
+    neighbours.push_back({i, j, score(i, j)});
+  }
+  const std::size_t keep = std::min(k, neighbours.size());
+  const auto closer = [](const PairScore& x, const PairScore& y) {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    return x.b < y.b;
+  };
+  std::partial_sort(neighbours.begin(),
+                    neighbours.begin() + static_cast<std::ptrdiff_t>(keep),
+                    neighbours.end(), closer);
+  neighbours.resize(keep);
+  return neighbours;
 }
 
 std::vector<PairScore> PairwiseScorer::score_all_pairs() const {

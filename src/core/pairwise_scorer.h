@@ -79,6 +79,21 @@ class PairwiseScorer {
   /// Full N×N symmetric cosine matrix.
   [[nodiscard]] tensor::Matrix score_matrix() const;
 
+  /// Incremental-audit scoring: cosine of every row appended at or after
+  /// index `first_new` against the whole resident corpus, as an
+  /// (N − first_new) × N matrix (row r is corpus row first_new + r).
+  /// Screening a stream of incoming designs therefore costs O(ΔN·N·D)
+  /// per batch instead of recomputing the N×N matrix; the rows are
+  /// bit-identical to the corresponding rows of score_matrix().
+  [[nodiscard]] tensor::Matrix score_new_rows(std::size_t first_new) const;
+
+  /// The k corpus entries most similar to row `i` (i itself excluded),
+  /// sorted by descending similarity with ascending-index tie-break;
+  /// fewer than k results when the corpus is small. Each result has
+  /// a == i and b == the neighbour.
+  [[nodiscard]] std::vector<PairScore> top_k(std::size_t i,
+                                             std::size_t k) const;
+
   /// Rectangular cross-corpus scores: result(i, j) = cosine of this
   /// corpus's row i against `other`'s row j. Dims must match.
   [[nodiscard]] tensor::Matrix score_against(const PairwiseScorer& other) const;

@@ -47,9 +47,20 @@ tensor::Var Hw2Vec::embed(tensor::Tape& tape, const GraphTensors& g,
 
 tensor::Matrix Hw2Vec::embed_inference(const GraphTensors& g) {
   tensor::Tape tape;
+  return embed_inference(tape, g);
+}
+
+tensor::Matrix Hw2Vec::embed_inference(tensor::Tape& tape,
+                                       const GraphTensors& g) {
+  tape.reset();
   util::Rng unused(0);
   tensor::Var h = embed(tape, g, unused, /*training=*/false);
-  return h.value();
+  tensor::Matrix out = h.value();
+  // Drop the node matrices now (keeping the vector's capacity): a
+  // worker's thread-local tape would otherwise pin the last graph's
+  // whole forward state while the pool sits idle.
+  tape.reset();
+  return out;
 }
 
 std::vector<tensor::Parameter*> Hw2Vec::parameters() {

@@ -47,6 +47,14 @@ class Hw2Vec {
   /// Inference-only convenience: fresh tape, no dropout; returns h_G.
   [[nodiscard]] tensor::Matrix embed_inference(const GraphTensors& g);
 
+  /// Inference embed on a caller-provided tape. The tape is reset()
+  /// first, so a worker can reuse one tape across a whole corpus
+  /// (retained node-vector capacity) instead of constructing a fresh
+  /// tape per graph; the arithmetic — and thus the embedding — is
+  /// bit-identical to the fresh-tape overload.
+  [[nodiscard]] tensor::Matrix embed_inference(tensor::Tape& tape,
+                                               const GraphTensors& g);
+
   /// All trainable parameters (for the optimizer / serialization).
   [[nodiscard]] std::vector<tensor::Parameter*> parameters();
 

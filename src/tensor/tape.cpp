@@ -11,6 +11,23 @@ namespace {
 constexpr float kCosineEps = 1e-8F;
 }  // namespace
 
+Matrix& GradSink::shadow(Parameter& p) {
+  for (auto& [param, buf] : shadows_) {
+    if (param == &p) return buf;
+  }
+  shadows_.emplace_back(&p,
+                        Matrix(p.value.rows(), p.value.cols(), 0.0F));
+  return shadows_.back().second;
+}
+
+void GradSink::add_into_params() {
+  for (auto& [param, buf] : shadows_) param->grad.add_in_place(buf);
+}
+
+void GradSink::clear() {
+  for (auto& [param, buf] : shadows_) buf.fill(0.0F);
+}
+
 const Matrix& Var::value() const {
   GNN4IP_ENSURE(tape_ != nullptr, "Var::value on invalid handle");
   return tape_->cnode(index_).value;
@@ -65,7 +82,9 @@ Var Tape::parameter(Parameter& p) {
   n.backward_fn = [self](Tape& t) {
     Node& leaf = t.node(self);
     if (leaf.grad_allocated) {
-      leaf.param->grad.add_in_place(leaf.grad);
+      Matrix& target =
+          t.sink_ != nullptr ? t.sink_->shadow(*leaf.param) : leaf.param->grad;
+      target.add_in_place(leaf.grad);
     }
   };
   return v;
@@ -589,6 +608,18 @@ void Tape::backward(Var loss) {
   GNN4IP_ENSURE(lv.rows() == 1 && lv.cols() == 1,
                 "backward expects a scalar loss");
   grad_of(loss.index_).at(0, 0) = 1.0F;
+  run_backward();
+}
+
+void Tape::backward(Var output, const Matrix& seed) {
+  check_owned(output);
+  GNN4IP_ENSURE(cnode(output.index_).value.same_shape(seed),
+                "backward seed shape must match the output");
+  grad_of(output.index_).add_in_place(seed);
+  run_backward();
+}
+
+void Tape::run_backward() {
   for (std::size_t i = nodes_.size(); i-- > 0;) {
     if (nodes_[i].backward_fn && nodes_[i].needs_grad) {
       nodes_[i].backward_fn(*this);

@@ -3,9 +3,18 @@
 // A Tape owns a sequence of nodes created by operator methods; calling
 // backward(loss) seeds dL/dL = 1 and runs the recorded closures in
 // reverse order. Leaves created from a Parameter accumulate their
-// gradient into Parameter::grad, so one Tape per mini-batch implements
-// exactly the "sum gradients over batch, then step" loop the paper's
-// batch gradient descent requires.
+// gradient into Parameter::grad by default, so one Tape per mini-batch
+// implements exactly the "sum gradients over batch, then step" loop the
+// paper's batch gradient descent requires.
+//
+// For data-parallel training each batch graph runs forward + backward on
+// its own Tape with a GradSink installed: parameter leaves then
+// accumulate into the sink's per-parameter shadow buffers instead of
+// racing on Parameter::grad, and the trainer folds the sinks into
+// Parameter::grad in fixed graph-index order — so the reduced gradient
+// is bit-identical for any worker count. reset() clears a tape for the
+// next graph while keeping the node vector's capacity (and the sink),
+// which removes per-graph allocation churn from the step hot path.
 //
 // Every operation the hw2vec architecture needs is provided: (sparse)
 // matmul for Eq. 5 propagation, ReLU/tanh/sigmoid/dropout, row selection
@@ -37,6 +46,35 @@ struct Parameter {
   Matrix grad;
 
   void zero_grad() { grad.fill(0.0F); }
+};
+
+/// Shadow gradient accumulator for race-free parallel backward passes.
+///
+/// While installed on a tape (Tape::set_grad_sink), parameter leaves add
+/// their gradient into shadow(p) instead of Parameter::grad, so several
+/// tapes can run backward concurrently over the same model. The shadows
+/// are folded into the parameters afterwards with add_into_params();
+/// folding the sinks in a fixed order (graph-index order in the trainer)
+/// keeps the float summation order — and therefore the whole training
+/// trajectory — independent of the worker count.
+class GradSink {
+ public:
+  /// Shadow buffer for `p`: zero-allocated on first use, reused (and
+  /// kept allocated across clear()) afterwards.
+  [[nodiscard]] Matrix& shadow(Parameter& p);
+
+  /// Fold every shadow into its parameter's grad, in the order the
+  /// parameters were first seen by this sink (forward order, which is
+  /// deterministic for a fixed model architecture).
+  void add_into_params();
+
+  /// Zero all shadows, keeping their allocations for the next pass.
+  void clear();
+
+  [[nodiscard]] std::size_t num_params() const { return shadows_.size(); }
+
+ private:
+  std::vector<std::pair<Parameter*, Matrix>> shadows_;
 };
 
 /// Lightweight handle to a tape node.
@@ -111,6 +149,22 @@ class Tape {
   // --- engine ---------------------------------------------------------------
   /// Run reverse pass from `loss` (must be 1×1).
   void backward(Var loss);
+  /// Run reverse pass from `output` seeded with dL/d(output) = `seed`
+  /// (same shape as the output). This is how a per-graph tape receives
+  /// the closed-form gradient of a cross-graph loss (e.g. the cosine
+  /// embedding loss between two embeddings living on different tapes).
+  void backward(Var output, const Matrix& seed);
+
+  /// Redirect (or, with nullptr, restore) parameter-leaf gradient
+  /// accumulation to a shadow sink. The sink must outlive every
+  /// backward() call on this tape while installed.
+  void set_grad_sink(GradSink* sink) { sink_ = sink; }
+  [[nodiscard]] GradSink* grad_sink() const { return sink_; }
+
+  /// Drop all nodes but keep the node vector's capacity (and the
+  /// installed sink), so a tape reused across graphs stops reallocating
+  /// its node array. Vars handed out before reset() are invalidated.
+  void reset() { nodes_.clear(); }
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
 
@@ -132,8 +186,10 @@ class Tape {
   /// Gradient accumulator for node `index` (allocates zeros on demand).
   Matrix& grad_of(std::size_t index);
   void check_owned(Var v) const;
+  void run_backward();
 
   std::vector<Node> nodes_;
+  GradSink* sink_ = nullptr;
   Matrix empty_grad_;  // returned for nodes that never received gradient
 };
 

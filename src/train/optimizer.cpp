@@ -23,16 +23,23 @@ Sgd::Sgd(std::vector<tensor::Parameter*> params, float lr, float momentum,
 }
 
 void Sgd::step() {
+  // The reduced gradient is read in place; a copy is only taken on the
+  // weight-decay path, which has to combine it with the weights.
+  tensor::Matrix decayed;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     tensor::Parameter& p = *params_[i];
-    tensor::Matrix g = p.grad;
-    if (weight_decay_ != 0.0F) g.axpy_in_place(weight_decay_, p.value);
+    const tensor::Matrix* g = &p.grad;
+    if (weight_decay_ != 0.0F) {
+      decayed = p.grad;
+      decayed.axpy_in_place(weight_decay_, p.value);
+      g = &decayed;
+    }
     if (momentum_ != 0.0F) {
       velocity_[i].scale_in_place(momentum_);
-      velocity_[i].add_in_place(g);
+      velocity_[i].add_in_place(*g);
       p.value.axpy_in_place(-lr_, velocity_[i]);
     } else {
-      p.value.axpy_in_place(-lr_, g);
+      p.value.axpy_in_place(-lr_, *g);
     }
     p.zero_grad();
   }
@@ -60,13 +67,18 @@ void Adam::step() {
       1.0F - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 =
       1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+  tensor::Matrix decayed;
   for (std::size_t i = 0; i < params_.size(); ++i) {
     tensor::Parameter& p = *params_[i];
-    tensor::Matrix g = p.grad;
-    if (weight_decay_ != 0.0F) g.axpy_in_place(weight_decay_, p.value);
+    const tensor::Matrix* g = &p.grad;
+    if (weight_decay_ != 0.0F) {
+      decayed = p.grad;
+      decayed.axpy_in_place(weight_decay_, p.value);
+      g = &decayed;
+    }
     auto m = first_moment_[i].data();
     auto v = second_moment_[i].data();
-    const auto gd = g.data();
+    const auto gd = g->data();
     auto w = p.value.data();
     for (std::size_t j = 0; j < gd.size(); ++j) {
       m[j] = beta1_ * m[j] + (1.0F - beta1_) * gd[j];

@@ -21,7 +21,11 @@ class Optimizer {
   Optimizer(const Optimizer&) = delete;
   Optimizer& operator=(const Optimizer&) = delete;
 
-  /// Apply accumulated gradients, then clear them.
+  /// Apply accumulated gradients, then clear them. Called on the
+  /// coordinating thread only, after the trainer has folded all
+  /// per-graph shadow gradients into Parameter::grad in fixed graph
+  /// order — the optimizer itself never sees a partially-reduced or
+  /// concurrently-mutated gradient.
   virtual void step() = 0;
 
   void zero_grad();

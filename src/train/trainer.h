@@ -3,12 +3,23 @@
 // Two batching strategies:
 //  * kPairBatch  — sample `batch_pairs` labeled pairs per step (the
 //    paper's batch size 64). Each unique graph in the batch is embedded
-//    once on the step's tape, so pairs share forward work.
+//    once, so pairs share forward work.
 //  * kGraphBatch — sample `batch_graphs` graphs and train on all pairs
 //    among them. More pairs per embedding; the default for the benches.
 //
-// Both minimize the summed cosine-embedding loss (Eq. 7, margin 0.5) and
+// Both minimize the mean cosine-embedding loss (Eq. 7, margin 0.5) and
 // step the optimizer once per batch.
+//
+// Training steps are data-parallel with bit-identical results: every
+// batch graph runs forward + backward on its own tensor::Tape (reused
+// across steps via reset()), parameter gradients accumulate into
+// per-graph GradSink shadow buffers, the cross-graph cosine-embedding
+// loss is differentiated in closed form on the coordinating thread and
+// pushed back into each graph's tape as a backward seed, and the shadows
+// are folded into Parameter::grad in fixed graph-index order. The float
+// summation order therefore never depends on the schedule, so fit() with
+// 1, 2, or 8 workers produces byte-equal parameters and loss curves
+// (asserted in tests/train_test.cpp).
 #pragma once
 
 #include <memory>
@@ -18,6 +29,7 @@
 #include "train/dataset.h"
 #include "train/metrics.h"
 #include "train/optimizer.h"
+#include "util/thread_pool.h"
 
 namespace gnn4ip::train {
 
@@ -39,9 +51,11 @@ struct TrainConfig {
   OptimizerKind optimizer = OptimizerKind::kAdam;
   double test_fraction = 0.2;      // paper §IV-A
   std::uint64_t seed = 7;
-  /// Worker threads for the embed_all fan-out (evaluation / scoring).
+  /// Worker threads for the training-step fan-out (per-graph
+  /// forward/backward) and the embed_all fan-out (evaluation / scoring).
   /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
-  /// concurrency). Embeddings are bit-identical for any value.
+  /// concurrency). Gradients, trained weights, and embeddings are
+  /// bit-identical for any value.
   std::size_t num_threads = 0;
 };
 
@@ -91,6 +105,25 @@ class Trainer {
   EpochStats train_epoch_graph_batch();
   EpochStats train_epoch_pair_batch();
 
+  /// One labeled pair of batch slots (indices into a step's graph list).
+  struct SlotPair {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    int label = 0;
+  };
+
+  /// One data-parallel optimizer step over `graphs` (dataset graph
+  /// indices; must be distinct) and the labeled `pairs` among them.
+  /// Returns the mean (weighted) pair loss. See the file comment for the
+  /// determinism contract.
+  double parallel_step(const std::vector<std::size_t>& graphs,
+                       const std::vector<SlotPair>& pairs);
+
+  /// The worker pool every trainer fan-out runs on: the shared pool for
+  /// num_threads == 0, otherwise a trainer-owned pool spawned once —
+  /// never a transient pool per step.
+  util::ThreadPool& pool();
+
   gnn::Hw2Vec& model_;
   const PairDataset& dataset_;
   TrainConfig config_;
@@ -98,6 +131,13 @@ class Trainer {
   std::unique_ptr<Optimizer> optimizer_;
   util::Rng rng_;
   float tuned_delta_ = 0.0F;
+  // Per-batch-slot tapes and gradient sinks, reused across steps and
+  // epochs (reset()/clear() keep their allocations) so a step allocates
+  // no tape or shadow storage after warm-up.
+  std::vector<std::unique_ptr<tensor::Tape>> slot_tapes_;
+  std::vector<tensor::GradSink> slot_sinks_;
+  // Lazily-spawned pool for an explicit num_threads (see pool()).
+  std::unique_ptr<util::ThreadPool> owned_pool_;
 };
 
 }  // namespace gnn4ip::train

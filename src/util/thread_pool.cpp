@@ -117,4 +117,18 @@ void parallel_for(std::size_t count, std::size_t num_threads,
   local.parallel_for(count, fn);
 }
 
+void parallel_map_reduce(std::size_t count, std::size_t num_threads,
+                         const std::function<void(std::size_t)>& map_fn,
+                         const std::function<void(std::size_t)>& reduce_fn) {
+  parallel_for(count, num_threads, map_fn);
+  for (std::size_t i = 0; i < count; ++i) reduce_fn(i);
+}
+
+void parallel_map_reduce(std::size_t count, ThreadPool& pool,
+                         const std::function<void(std::size_t)>& map_fn,
+                         const std::function<void(std::size_t)>& reduce_fn) {
+  pool.parallel_for(count, map_fn);
+  for (std::size_t i = 0; i < count; ++i) reduce_fn(i);
+}
+
 }  // namespace gnn4ip::util

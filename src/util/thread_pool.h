@@ -78,4 +78,23 @@ class ThreadPool {
 void parallel_for(std::size_t count, std::size_t num_threads,
                   const std::function<void(std::size_t)>& fn);
 
+/// Deterministic indexed map + reduce: map_fn(i) runs for every i in
+/// [0, count) on the pool (any schedule), then — once all indices have
+/// completed — reduce_fn(i) runs for i = 0, 1, …, count−1 sequentially
+/// on the calling thread. Because the fold order is fixed by index and
+/// never by the schedule, a floating-point reduction built on this
+/// helper is bit-identical for any worker count. This is the reduction
+/// pattern behind the parallel training step (per-graph gradient
+/// shadows folded into the parameters in graph order).
+void parallel_map_reduce(std::size_t count, std::size_t num_threads,
+                         const std::function<void(std::size_t)>& map_fn,
+                         const std::function<void(std::size_t)>& reduce_fn);
+
+/// Same, on a caller-owned pool — for hot loops that would otherwise
+/// respawn a transient pool per call (the trainer runs two fan-outs per
+/// optimizer step).
+void parallel_map_reduce(std::size_t count, ThreadPool& pool,
+                         const std::function<void(std::size_t)>& map_fn,
+                         const std::function<void(std::size_t)>& reduce_fn);
+
 }  // namespace gnn4ip::util

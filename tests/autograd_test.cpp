@@ -371,6 +371,96 @@ TEST(Tape, DropoutBackwardUsesSameMask) {
   }
 }
 
+TEST(Tape, ResetReusesTapeBitIdentically) {
+  util::Rng rng(13);
+  Parameter w(random_matrix(3, 2, rng));
+  const Matrix x = random_matrix(2, 3, rng);
+  const Matrix target = random_matrix(1, 2, rng);
+
+  auto run = [&](Tape& tape) {
+    Var vx = tape.constant(x);
+    Var vw = tape.parameter(w);
+    Var prod = tape.matmul(vx, vw);
+    Var pooled = tape.readout_mean(tape.relu(prod));
+    Var sim = tape.cosine_similarity(pooled, tape.constant(target));
+    tape.backward(sim);
+    return sim.value().at(0, 0);
+  };
+
+  Tape fresh;
+  const float first = run(fresh);
+  const std::size_t nodes_used = fresh.num_nodes();
+  const Matrix first_grad = w.grad;
+  w.zero_grad();
+
+  // Same tape, reset: same value, same gradient, same node count.
+  fresh.reset();
+  EXPECT_EQ(fresh.num_nodes(), 0u);
+  const float second = run(fresh);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(fresh.num_nodes(), nodes_used);
+  EXPECT_EQ(max_abs_diff(first_grad, w.grad), 0.0F);
+}
+
+TEST(Tape, GradSinkCapturesLeafGradients) {
+  util::Rng rng(14);
+  Parameter w(random_matrix(2, 2, rng));
+  const Matrix target = random_matrix(1, 2, rng);
+
+  // Reference: plain backward into Parameter::grad.
+  {
+    Tape tape;
+    Var vw = tape.parameter(w);
+    Var sim = tape.cosine_similarity(tape.readout_sum(vw),
+                                     tape.constant(target));
+    tape.backward(sim);
+  }
+  const Matrix reference = w.grad;
+  w.zero_grad();
+
+  // Shadow mode: Parameter::grad stays untouched until add_into_params.
+  GradSink sink;
+  Tape tape;
+  tape.set_grad_sink(&sink);
+  Var vw = tape.parameter(w);
+  Var sim =
+      tape.cosine_similarity(tape.readout_sum(vw), tape.constant(target));
+  tape.backward(sim);
+  EXPECT_FLOAT_EQ(w.grad.max_abs(), 0.0F);
+  ASSERT_EQ(sink.num_params(), 1u);
+  EXPECT_EQ(max_abs_diff(sink.shadow(w), reference), 0.0F);
+
+  sink.add_into_params();
+  EXPECT_EQ(max_abs_diff(w.grad, reference), 0.0F);
+
+  // clear() zeroes the shadow but keeps the buffer registered.
+  sink.clear();
+  EXPECT_FLOAT_EQ(sink.shadow(w).max_abs(), 0.0F);
+  EXPECT_EQ(sink.num_params(), 1u);
+}
+
+TEST(Tape, SeededBackwardMatchesAnalyticJacobian) {
+  // h = x·W (1×2); backward seeded with dy gives dW = xᵀ·dy exactly.
+  Parameter w(Matrix::from_rows({{1.0F, -2.0F}, {0.5F, 3.0F}}));
+  const Matrix x = Matrix::from_rows({{2.0F, -1.0F}});
+  const Matrix seed = Matrix::from_rows({{0.25F, -4.0F}});
+
+  Tape tape;
+  Var vw = tape.parameter(w);
+  Var h = tape.matmul(tape.constant(x), vw);
+  tape.backward(h, seed);
+  const Matrix expected = matmul_at_b(x, seed);
+  EXPECT_EQ(max_abs_diff(w.grad, expected), 0.0F);
+}
+
+TEST(Tape, SeededBackwardRejectsShapeMismatch) {
+  Tape tape;
+  Parameter p(Matrix::ones(1, 3));
+  Var v = tape.parameter(p);
+  EXPECT_THROW(tape.backward(v, Matrix::ones(2, 2)),
+               util::ContractViolation);
+}
+
 TEST(Tape, CrossTapeVarRejected) {
   Tape t1;
   Tape t2;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "core/gnn4ip.h"
@@ -167,6 +168,79 @@ TEST(PairwiseScorer, FlagReturnsSortedPairsAboveDelta) {
   EXPECT_EQ(flagged[0].b, 1u);
   EXPECT_GT(flagged[0].similarity, 0.99F);
   EXPECT_EQ(scorer.name(flagged[0].b), "a_copy");
+}
+
+TEST(PairwiseScorer, ScoreNewRowsMatchesFullMatrixRows) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 4u);
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const std::size_t first_new = scorer.size() - 3;
+  const tensor::Matrix fresh = scorer.score_new_rows(first_new);
+  const tensor::Matrix full = scorer.score_matrix();
+  ASSERT_EQ(fresh.rows(), 3u);
+  ASSERT_EQ(fresh.cols(), scorer.size());
+  for (std::size_t r = 0; r < fresh.rows(); ++r) {
+    for (std::size_t j = 0; j < fresh.cols(); ++j) {
+      EXPECT_EQ(fresh.at(r, j), full.at(first_new + r, j));
+    }
+  }
+  // Nothing new: a 0×N result, not an error.
+  EXPECT_EQ(scorer.score_new_rows(scorer.size()).rows(), 0u);
+  EXPECT_THROW((void)scorer.score_new_rows(scorer.size() + 1),
+               util::ContractViolation);
+}
+
+TEST(PairwiseScorer, TopKReturnsNearestNeighboursSorted) {
+  PairwiseScorer scorer;
+  scorer.add("east", tensor::Matrix::from_rows({{1, 0}}));
+  scorer.add("near_east", tensor::Matrix::from_rows({{1, 0.1F}}));
+  scorer.add("north", tensor::Matrix::from_rows({{0, 1}}));
+  scorer.add("west", tensor::Matrix::from_rows({{-1, 0}}));
+  const std::vector<PairScore> nearest = scorer.top_k(0, 2);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0].a, 0u);
+  EXPECT_EQ(nearest[0].b, 1u);  // near_east
+  EXPECT_EQ(nearest[1].b, 2u);  // north (cos 0) beats west (cos −1)
+  EXPECT_GE(nearest[0].similarity, nearest[1].similarity);
+  EXPECT_FLOAT_EQ(nearest[0].similarity, scorer.score(0, 1));
+  // k larger than the corpus: every other row, still sorted.
+  EXPECT_EQ(scorer.top_k(0, 99).size(), 3u);
+  EXPECT_THROW((void)scorer.top_k(scorer.size(), 1),
+               util::ContractViolation);
+}
+
+TEST(PairwiseScorer, TopKAgreesWithScoreAllPairs) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const std::size_t i = 1;
+  const std::vector<PairScore> nearest = scorer.top_k(i, scorer.size() - 1);
+  ASSERT_EQ(nearest.size(), scorer.size() - 1);
+  for (const PairScore& p : nearest) {
+    EXPECT_EQ(p.a, i);
+    EXPECT_FLOAT_EQ(p.similarity, scorer.score(i, p.b));
+  }
+  for (std::size_t r = 1; r < nearest.size(); ++r) {
+    EXPECT_GE(nearest[r - 1].similarity, nearest[r].similarity);
+  }
+}
+
+TEST(PairwiseScorer, ReusedTapeEmbeddingsMatchFreshTapePath) {
+  // from_entries reuses one tape per worker via Tape::reset(); the cached
+  // rows must stay bit-identical to per-graph fresh-tape embeddings.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const tensor::Matrix cached = scorer.embedding_matrix();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const tensor::Matrix fresh = model.embed_inference(entries[i].tensors);
+    const std::span<const float> row = cached.row(i);
+    ASSERT_EQ(row.size(), fresh.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_EQ(row[c], fresh.data()[c]);
+    }
+  }
 }
 
 TEST(PairwiseScorer, RejectsMismatchedEmbeddingDims) {

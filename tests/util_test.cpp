@@ -264,6 +264,34 @@ TEST(ThreadPool, DefaultThreadCountHonorsEnvKnob) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
 }
 
+TEST(ParallelMapReduce, FoldOrderIsIndexOrderForAnyWorkerCount) {
+  // map runs on the pool; the fold must run afterwards, sequentially, in
+  // index order — so an order-sensitive float reduction is bit-identical
+  // for any worker count.
+  auto run = [](std::size_t num_threads) {
+    std::vector<float> mapped(64);
+    float folded = 1.0F;
+    std::vector<std::size_t> fold_order;
+    parallel_map_reduce(
+        mapped.size(), num_threads,
+        [&](std::size_t i) {
+          mapped[i] = 1.0F + 1.0F / static_cast<float>(i + 1);
+        },
+        [&](std::size_t i) {
+          folded *= mapped[i];  // deliberately non-associative-friendly
+          fold_order.push_back(i);
+        });
+    for (std::size_t i = 0; i < fold_order.size(); ++i) {
+      EXPECT_EQ(fold_order[i], i);
+    }
+    return folded;
+  };
+  const float one = run(1);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(8), one);
+  EXPECT_EQ(run(0), one);
+}
+
 TEST(ParallelFor, ExplicitCountsAndSharedPoolAgree) {
   auto run = [](std::size_t num_threads) {
     std::vector<std::size_t> out(32);
