@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "audit/audit_service.h"
 #include "baseline/graph_similarity.h"
 #include "common.h"
 #include "core/gnn4ip.h"
@@ -271,6 +272,40 @@ void BM_PairwiseKernelOnly(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairwiseKernelOnly);
+
+// The full audit-service loop per batch across worker counts: 8 designs
+// are submitted (pre-featurized GraphEntry path), then one screen()
+// embeds them in parallel, scores them against the 56 pinned residents
+// via score_new_rows, and evicts them again (max_resident == library
+// size), so every iteration sees the same steady-state corpus. Verdicts
+// are bit-identical for every Arg.
+void BM_AuditSubmit(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  const std::size_t library = entries.size() - 8;
+  gnn::Hw2Vec model;
+  audit::AuditOptions options;
+  options.scorer.num_threads = static_cast<std::size_t>(state.range(0));
+  options.max_resident = library;
+  audit::AuditService service(model, options);
+  for (std::size_t i = 0; i < library; ++i) {
+    (void)service.add_library(entries[i]);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = library; i < entries.size(); ++i) {
+      benchmark::DoNotOptimize(service.submit(entries[i]));
+    }
+    const std::vector<audit::ScreenReport> reports = service.screen();
+    benchmark::DoNotOptimize(reports.size());
+  }
+  state.counters["resident"] = static_cast<double>(library);
+  state.counters["batch"] = static_cast<double>(entries.size() - library);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AuditSubmit)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BaselineWl(benchmark::State& state) {
   const graph::Digraph a = dfg::extract_dfg(medium_rtl());

@@ -1,0 +1,10 @@
+// Incoming third-party design: behavioral rewrite of the library adder
+// (paper Fig. 1 "Adder1") — same design, different source style. An
+// audit should flag this against lib_adder.v.
+module FA_UNIT (input Num1, input Num2, input Cin,
+                output reg Sum, output reg Cout);
+  always @(Num1, Num2, Cin) begin
+    Sum <= ((Num1 ^ Num2) ^ Cin);
+    Cout <= (((Num1 ^ Num2) && Cin) || (Num1 && Num2));
+  end
+endmodule

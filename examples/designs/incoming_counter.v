@@ -1,0 +1,12 @@
+// Incoming third-party design: an honest 8-bit up/down counter,
+// unrelated to any library IP. An audit should pass it as clean.
+module COUNTER8 (input clk, input rst, input en, input up,
+                 output reg [7:0] q);
+  always @(posedge clk) begin
+    if (rst) q <= 8'h00;
+    else if (en) begin
+      if (up) q <= q + 8'h01;
+      else q <= q - 8'h01;
+    end
+  end
+endmodule

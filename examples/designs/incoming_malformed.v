@@ -1,0 +1,5 @@
+// Deliberately malformed: exercises the per-design diagnostic path —
+// the audit batch must survive this file and still screen the others.
+module BROKEN (input a, input b
+  assign x = a &
+endmodule

@@ -1,0 +1,11 @@
+// Vendor library IP: gate-level full adder (paper Fig. 1 "Adder2").
+module ADDER (Num1, Num2, Cin, Sum, Cout);
+  input Num1, Num2, Cin;
+  output Sum, Cout;
+  wire t1, t2, t3;
+  xor (t1, Num1, Num2);
+  and (t2, Num1, Num2);
+  and (t3, t1, Cin);
+  xor (Sum, t1, Cin);
+  or (Cout, t3, t2);
+endmodule

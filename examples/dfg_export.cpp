@@ -1,14 +1,16 @@
-// Inspect the DFG pipeline: extract the data-flow graph of a design
-// (the paper's Fig. 2 stages) and export GraphViz DOT for visualization.
-// Pass a Verilog file path to process your own design; without arguments
-// the Fig. 1 adder is used.
+// Inspect the DFG pipeline: compile a design through the audit front
+// half (audit::compile_rtl — the paper's Fig. 2 stages plus
+// featurization) and export GraphViz DOT for visualization. Pass a
+// Verilog file path to process your own design; without arguments the
+// Fig. 1 adder is used. Malformed input is reported as a per-design
+// diagnostic with its source location, not an exception.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "audit/pipeline.h"
 #include "dfg/node_kind.h"
-#include "dfg/pipeline.h"
 #include "graph/serialize.h"
 
 int main(int argc, char** argv) {
@@ -39,29 +41,33 @@ endmodule
 )";
   }
 
-  try {
-    const graph::Digraph g = dfg::extract_dfg(source);
-    const dfg::DfgSummary s = dfg::summarize(g);
-    std::printf("DFG: %zu nodes, %zu edges — %zu inputs, %zu outputs, "
-                "%zu operators\n",
-                s.num_nodes, s.num_edges, s.num_inputs, s.num_outputs,
-                s.num_operators);
-    std::printf("\nnode listing:\n");
-    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
-      const auto id = static_cast<graph::NodeId>(v);
-      std::printf("  [%2zu] %-12s kind=%s  out-deg=%zu\n", v,
-                  g.node(id).name.c_str(),
-                  dfg::to_string(static_cast<dfg::NodeKind>(g.node(id).kind)),
-                  g.out_degree(id));
-    }
-    const std::string dot_path = "dfg.dot";
-    std::ofstream dot(dot_path);
-    dot << graph::to_dot(g, "dfg");
-    std::printf("\nwrote %s — render with: dot -Tpng dfg.dot -o dfg.png\n",
-                dot_path.c_str());
-  } catch (const verilog::ParseError& e) {
-    std::fprintf(stderr, "parse error: %s\n", e.what());
+  const audit::CompileResult compiled = audit::compile_rtl(source);
+  if (!compiled.ok) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 compiled.error.to_string().c_str());
     return 1;
   }
+  const graph::Digraph& g = compiled.design.dfg;
+  const dfg::DfgSummary s = dfg::summarize(g);
+  std::printf("DFG: %zu nodes, %zu edges — %zu inputs, %zu outputs, "
+              "%zu operators\n",
+              s.num_nodes, s.num_edges, s.num_inputs, s.num_outputs,
+              s.num_operators);
+  std::printf("featurized: X is %zu x %zu\n",
+              compiled.design.tensors.x.rows(),
+              compiled.design.tensors.x.cols());
+  std::printf("\nnode listing:\n");
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    const auto id = static_cast<graph::NodeId>(v);
+    std::printf("  [%2zu] %-12s kind=%s  out-deg=%zu\n", v,
+                g.node(id).name.c_str(),
+                dfg::to_string(static_cast<dfg::NodeKind>(g.node(id).kind)),
+                g.out_degree(id));
+  }
+  const std::string dot_path = "dfg.dot";
+  std::ofstream dot(dot_path);
+  dot << graph::to_dot(g, "dfg");
+  std::printf("\nwrote %s — render with: dot -Tpng dfg.dot -o dfg.png\n",
+              dot_path.c_str());
   return 0;
 }

@@ -5,16 +5,25 @@
 //   gnn4ip_cli embed <model.txt> <design.v>       print the h_G vector
 //   gnn4ip_cli compare <model.txt> <a.v> <b.v> [delta]
 //                                                 Alg. 1 piracy check
+//   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
+//              [--delta <d>] [--top-k <k>] [--max-resident <n>]
+//              <design.v> [<design2.v> ...]
+//                                                 screen designs against
+//                                                 a resident IP library
 //
 // Designs are Verilog files (RTL or gate-level netlist). Models are the
-// text format of gnn/model_io.h, produced by `train`.
+// text format of gnn/model_io.h, produced by `train`. End-to-end piracy
+// flows (compare, audit) run through audit::AuditService; a malformed
+// design gets a per-file diagnostic and never aborts the batch.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "graph/serialize.h"
 
@@ -34,23 +43,32 @@ std::string read_file(const std::string& path) {
 }
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  gnn4ip_cli extract <design.v>\n"
-               "  gnn4ip_cli train <model.txt> [epochs]\n"
-               "  gnn4ip_cli embed <model.txt> <design.v>\n"
-               "  gnn4ip_cli compare <model.txt> <a.v> <b.v> [delta]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  gnn4ip_cli extract <design.v>\n"
+      "  gnn4ip_cli train <model.txt> [epochs]\n"
+      "  gnn4ip_cli embed <model.txt> <design.v>\n"
+      "  gnn4ip_cli compare <model.txt> <a.v> <b.v> [delta]\n"
+      "  gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus ...]\n"
+      "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
+      "             <design.v> [...]\n");
   return 2;
 }
 
 int cmd_extract(const std::string& path) {
-  const graph::Digraph g = dfg::extract_dfg(read_file(path));
-  const dfg::DfgSummary s = dfg::summarize(g);
+  const audit::CompileResult compiled = audit::compile_rtl(read_file(path));
+  if (!compiled.ok) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 compiled.error.to_string().c_str());
+    return 3;
+  }
+  const dfg::DfgSummary s = dfg::summarize(compiled.design.dfg);
   std::printf("# %s: %zu nodes, %zu edges, %zu inputs, %zu outputs, "
               "%zu operators\n",
               path.c_str(), s.num_nodes, s.num_edges, s.num_inputs,
               s.num_outputs, s.num_operators);
-  std::fputs(graph::to_dot(g).c_str(), stdout);
+  std::fputs(graph::to_dot(compiled.design.dfg).c_str(), stdout);
   return 0;
 }
 
@@ -90,13 +108,128 @@ int cmd_embed(const std::string& model_path, const std::string& design) {
 
 int cmd_compare(const std::string& model_path, const std::string& a,
                 const std::string& b, float delta) {
-  PiracyDetector detector;
-  detector.load(model_path);
-  detector.set_delta(delta);
-  const Verdict v = detector.check(read_file(a), read_file(b));
-  std::printf("similarity %+.6f  delta %+.3f  verdict %s\n", v.similarity,
-              delta, v.is_piracy ? "PIRACY" : "no-piracy");
-  return v.is_piracy ? 0 : 1;  // exit code: 0 = flagged, like grep
+  audit::AuditOptions options;
+  options.scorer.delta = delta;
+  audit::AuditService service =
+      audit::AuditService::from_model_file(model_path, options);
+  // Distinct resident names even when both arguments are the same file
+  // (submitting a resident name would replace the library row).
+  const audit::Submission lib = service.add_library("a:" + a, read_file(a));
+  if (!lib.accepted) {
+    std::fprintf(stderr, "%s: parse error: %s\n", a.c_str(),
+                 lib.error.to_string().c_str());
+    return 3;
+  }
+  (void)service.submit("b:" + b, read_file(b));
+  for (const audit::ScreenReport& report : service.screen()) {
+    if (!report.submission.accepted) {
+      std::fprintf(stderr, "%s: parse error: %s\n", b.c_str(),
+                   report.submission.error.to_string().c_str());
+      return 3;
+    }
+    if (!report.best) continue;
+    const audit::Verdict& v = *report.best;
+    std::printf("similarity %+.6f  delta %+.3f  verdict %s\n", v.similarity,
+                delta, v.flagged ? "PIRACY" : "no-piracy");
+    return v.flagged ? 0 : 1;  // exit code: 0 = flagged, like grep
+  }
+  return 3;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  // args = everything after "audit": model path, flags, incoming files.
+  if (args.empty()) return usage();
+  const std::string model_path = args[0];
+  std::vector<std::string> corpus_files;
+  std::vector<std::string> incoming_files;
+  audit::AuditOptions options;
+  std::size_t top_k = 0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next_value = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (arg == "--corpus") {
+      corpus_files.push_back(next_value());
+    } else if (arg == "--delta") {
+      options.scorer.delta = std::strtof(next_value().c_str(), nullptr);
+    } else if (arg == "--top-k") {
+      top_k = static_cast<std::size_t>(std::atoi(next_value().c_str()));
+    } else if (arg == "--max-resident") {
+      options.max_resident =
+          static_cast<std::size_t>(std::atoi(next_value().c_str()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      incoming_files.push_back(arg);
+    }
+  }
+  if (corpus_files.empty() || incoming_files.empty()) return usage();
+
+  audit::AuditService service =
+      audit::AuditService::from_model_file(model_path, options);
+  for (const std::string& path : corpus_files) {
+    const audit::Submission s = service.add_library(path, read_file(path));
+    if (!s.accepted) {
+      std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                   s.error.to_string().c_str());
+      return 3;
+    }
+  }
+  std::fprintf(stderr,
+               "resident library: %zu design(s), D=%zu, delta %+.3f\n",
+               service.resident(), service.model().embedding_dim(),
+               service.delta());
+
+  int flagged_designs = 0;
+  const auto report_batch =
+      [&](const std::vector<audit::ScreenReport>& reports) {
+        for (const audit::ScreenReport& report : reports) {
+          const audit::Submission& s = report.submission;
+          if (!s.accepted) {
+            std::printf("%-40s PARSE-ERROR %s\n", s.name.c_str(),
+                        s.error.to_string().c_str());
+            continue;
+          }
+          if (!report.verdicts.empty()) {
+            ++flagged_designs;
+            for (const audit::Verdict& v : report.verdicts) {
+              std::printf("%-40s PIRACY     %+0.4f  %s\n", s.name.c_str(),
+                          v.similarity, v.matched.c_str());
+            }
+          } else {
+            std::printf("%-40s clean      %+0.4f  (closest: %s)\n",
+                        s.name.c_str(),
+                        report.best ? report.best->similarity : 0.0F,
+                        report.best ? report.best->matched.c_str() : "-");
+          }
+          if (top_k > 0 && service.contains(s.name)) {
+            for (const audit::Verdict& v : service.top_k(s.name, top_k)) {
+              std::printf("  top-%zu: %-33s %+0.4f%s\n", top_k,
+                          v.matched.c_str(), v.similarity,
+                          v.flagged ? "  [!]" : "");
+            }
+          }
+        }
+      };
+
+  for (const std::string& path : incoming_files) {
+    if (!service.submit(path, read_file(path))) {
+      // Bounded queue full: screen (and report) what we have, retry.
+      report_batch(service.screen());
+      (void)service.submit(path, read_file(path));
+    }
+  }
+  report_batch(service.screen());
+
+  std::printf("%d of %zu design(s) flagged above delta %+.3f\n",
+              flagged_designs, incoming_files.size(), service.delta());
+  return flagged_designs > 0 ? 0 : 1;  // exit code: 0 = flagged, like grep
 }
 
 }  // namespace
@@ -118,6 +251,9 @@ int main(int argc, char** argv) {
       const float delta =
           argc == 6 ? std::strtof(argv[5], nullptr) : 0.5F;
       return cmd_compare(argv[2], argv[3], argv[4], delta);
+    }
+    if (cmd == "audit" && argc >= 3) {
+      return cmd_audit(std::vector<std::string>(argv + 2, argv + argc));
     }
   } catch (const verilog::ParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());

@@ -2,9 +2,11 @@
 // (inverter pairs, buffer chains, dummy logic, gate decomposition, full
 // renaming) to evade detection — the paper's §IV-E experiment. GNN4IP
 // still recognizes the original IP because it learns behavior, not
-// wire names or gate-level idioms.
+// wire names or gate-level idioms. The original IP sits pinned in an
+// audit::AuditService; each obfuscated variant is screened against it.
 #include <cstdio>
 
+#include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "data/corpus.h"
 #include "data/iscas.h"
@@ -27,38 +29,56 @@ int main() {
       make_graph_entries(data::build_netlist_corpus(corpus)), tc);
   std::printf("held-out accuracy %.1f%%\n\n",
               100.0 * eval.confusion.accuracy());
+
   // Use the Eq. 7 margin as the decision boundary: the accuracy-tuned δ
   // from a small corpus is tight around the training distribution, while
   // heavy obfuscation legitimately costs some similarity. δ = margin is
   // the principled "how much similarity counts as piracy" default.
-  detector.set_delta(0.5F);
+  // max_resident = 1 keeps only the pinned library IP resident: every
+  // screened variant is scored, reported, and then evicted, so each
+  // level is judged against the original alone.
+  audit::AuditOptions options;
+  options.scorer.delta = 0.5F;
+  options.max_resident = 1;
+  audit::AuditService service(detector.model(), options);
 
-  // The "stolen" IP: the c880-style 8-bit ALU stand-in.
+  // The "stolen" IP: the c880-style 8-bit ALU stand-in, pinned as the
+  // vendor's resident library entry.
   const data::Netlist original = data::build_c880_alu8();
   std::printf("original IP: %s (%zu gates)\n",
               original.module_name.c_str(), original.num_gates());
+  (void)service.add_library("c880_alu8", original.to_verilog());
 
   util::Rng rng(99);
   for (int level = 1; level <= 3; ++level) {
-    data::ObfuscationConfig config;
-    config.inverter_pair_rate = 0.04 * level;
-    config.buffer_rate = 0.04 * level;
-    config.decompose_rate = 0.15 * level;
-    config.dummy_gates = 6 * level;
-    const data::Netlist stolen = data::obfuscate(original, config, rng);
-    const Verdict v =
-        detector.check(original.to_verilog(), stolen.to_verilog());
-    std::printf(
-        "obfuscation level %d: %4zu gates (+%3zu)  score %+.4f -> %s\n",
-        level, stolen.num_gates(), stolen.num_gates() - original.num_gates(),
-        v.similarity, v.is_piracy ? "PIRACY DETECTED" : "missed");
+    data::ObfuscationConfig obf;
+    obf.inverter_pair_rate = 0.04 * level;
+    obf.buffer_rate = 0.04 * level;
+    obf.decompose_rate = 0.15 * level;
+    obf.dummy_gates = 6 * level;
+    const data::Netlist stolen = data::obfuscate(original, obf, rng);
+    (void)service.submit("obfuscated-L" + std::to_string(level),
+                         stolen.to_verilog());
+    for (const audit::ScreenReport& report : service.screen()) {
+      if (!report.best) continue;
+      std::printf(
+          "obfuscation level %d: %4zu gates (+%3zu)  score %+.4f -> %s\n",
+          level, stolen.num_gates(),
+          stolen.num_gates() - original.num_gates(),
+          report.best->similarity,
+          report.best->flagged ? "PIRACY DETECTED" : "missed");
+    }
   }
 
   // Contrast: a genuinely different circuit scores low.
   const data::Netlist different = data::build_c432_interrupt_controller();
-  const Verdict v =
-      detector.check(original.to_verilog(), different.to_verilog());
-  std::printf("\nunrelated design (c432-style):            score %+.4f -> %s\n",
-              v.similarity, v.is_piracy ? "piracy?!" : "no piracy");
+  (void)service.submit("c432_interrupt", different.to_verilog());
+  for (const audit::ScreenReport& report : service.screen()) {
+    if (!report.best) continue;
+    std::printf(
+        "\nunrelated design (c432-style):            score %+.4f -> %s\n",
+        report.best->similarity,
+        report.best->flagged ? "piracy?!" : "no piracy");
+  }
   return 0;
 }

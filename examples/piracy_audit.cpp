@@ -3,16 +3,19 @@
 // ("an effective IP piracy detection method is crucial for IP providers
 // to disclose the theft").
 //
-// The vendor library holds several in-house designs. The incoming batch
-// contains (a) honest unrelated designs, (b) a renamed copy of a library
-// IP, and (c) a restructured (style-converted) copy. The audit embeds
-// everything once and prints a similarity matrix plus flagged pairs.
+// The vendor library holds several in-house designs, pinned into the
+// audit service so eviction can never drop them. The incoming batch
+// contains (a) an honest unrelated design, (b) a renamed copy of a
+// library IP, and (c) a restructured (style-converted) copy — plus one
+// malformed file, which gets a per-design diagnostic instead of killing
+// the batch. Everything flows through audit::AuditService: submit,
+// screen, verdicts.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "audit/audit_service.h"
 #include "core/gnn4ip.h"
-#include "core/pairwise_scorer.h"
 #include "data/rtl_designs.h"
 
 int main() {
@@ -32,54 +35,53 @@ int main() {
   std::printf("held-out accuracy %.1f%%\n\n",
               100.0 * eval.confusion.accuracy());
 
-  struct Ip {
-    std::string name;
-    std::string verilog;
-  };
-  // Vendor library (unseen instance seeds).
-  const std::vector<Ip> library = {
-      {"lib:crc8", data::gen_crc8({0, 7001})},
-      {"lib:uart_tx", data::gen_uart_tx({0, 7002})},
-      {"lib:fifo_ctrl", data::gen_fifo_ctrl({0, 7003})},
-  };
+  // The audit service owns the model, the resident corpus, and the
+  // worker pool; δ comes from the shared ScorerOptions. max_resident
+  // bounds the cache — pinned library rows don't get evicted, screened
+  // submissions do once the bound is hit.
+  audit::AuditOptions options;
+  options.scorer.delta = detector.delta();
+  options.max_resident = 5;
+  audit::AuditService service(detector.model(), options);
+
+  // Vendor library (unseen instance seeds), pinned resident IP.
+  (void)service.add_library("lib:crc8", data::gen_crc8({0, 7001}));
+  (void)service.add_library("lib:uart_tx", data::gen_uart_tx({0, 7002}));
+  (void)service.add_library("lib:fifo_ctrl", data::gen_fifo_ctrl({0, 7003}));
+  std::printf("library resident: %zu designs (pinned)\n\n",
+              service.resident());
+
   // Incoming portfolio: one honest design, one renamed CRC copy, one
-  // style-rewritten UART.
-  const std::vector<Ip> incoming = {
-      {"in:pwm (honest)", data::gen_pwm({0, 7004})},
-      {"in:crc8-renamed (stolen)", data::gen_crc8({0, 7005})},
-      {"in:uart-restyled (stolen)", data::gen_uart_tx({1, 7006})},
-  };
-
-  // Embed each design exactly once; every library×incoming score then
-  // comes from the cached embeddings via the batched blocked kernel
-  // (the naive path would re-embed both members of all 9 pairs).
-  core::PairwiseScorer library_scorer;
-  core::PairwiseScorer incoming_scorer;
-  for (const Ip& lib : library) {
-    (void)library_scorer.add(lib.name, detector.embed(lib.verilog));
-  }
-  for (const Ip& candidate : incoming) {
-    (void)incoming_scorer.add(candidate.name,
-                              detector.embed(candidate.verilog));
-  }
-  const tensor::Matrix sims = incoming_scorer.score_against(library_scorer);
-
-  std::printf("%-28s", "similarity");
-  for (const Ip& lib : library) std::printf(" %14s", lib.name.c_str());
-  std::printf("\n");
+  // style-rewritten UART, one file that does not even parse.
+  (void)service.submit("in:pwm (honest)", data::gen_pwm({0, 7004}));
+  (void)service.submit("in:crc8-renamed (stolen)", data::gen_crc8({0, 7005}));
+  (void)service.submit("in:uart-restyled (stolen)",
+                       data::gen_uart_tx({1, 7006}));
+  (void)service.submit("in:corrupted", "module broken (input a, ;;;");
 
   int flagged = 0;
-  for (std::size_t row = 0; row < incoming.size(); ++row) {
-    std::printf("%-28s", incoming[row].name.c_str());
-    for (std::size_t col = 0; col < library.size(); ++col) {
-      const float similarity = sims.at(row, col);
-      const bool is_piracy = similarity > detector.delta();
-      std::printf(" %+9.4f%s", similarity, is_piracy ? " [!] " : "     ");
-      if (is_piracy) ++flagged;
+  for (const audit::ScreenReport& report : service.screen()) {
+    const audit::Submission& s = report.submission;
+    if (!s.accepted) {
+      std::printf("%-28s parse error: %s\n", s.name.c_str(),
+                  s.error.to_string().c_str());
+      continue;
     }
-    std::printf("\n");
+    if (report.verdicts.empty()) {
+      std::printf("%-28s clean (closest: %s %+.4f)\n", s.name.c_str(),
+                  report.best ? report.best->matched.c_str() : "-",
+                  report.best ? report.best->similarity : 0.0F);
+      continue;
+    }
+    for (const audit::Verdict& v : report.verdicts) {
+      std::printf("%-28s [!] matches %-14s %+.4f\n", s.name.c_str(),
+                  v.matched.c_str(), v.similarity);
+      ++flagged;
+    }
   }
-  std::printf("\n%d pair(s) flagged above delta = %+.3f\n", flagged,
-              detector.delta());
+  std::printf(
+      "\n%d pair(s) flagged above delta = %+.3f; resident after eviction: "
+      "%zu\n",
+      flagged, service.delta(), service.resident());
   return 0;
 }

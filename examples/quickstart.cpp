@@ -1,11 +1,13 @@
-// Quickstart: detect piracy between two Verilog designs in ~30 lines.
+// Quickstart: detect piracy between Verilog designs in ~30 lines.
 //
 // The two adders below are the paper's Fig. 1 motivational example —
 // different source codes (behavioral vs gate-level) implementing the
-// same full-adder design. A detector trained on the bundled corpus
-// should score them as highly similar, and score an unrelated ALU low.
+// same full-adder design. After training, the adder goes into an
+// audit::AuditService as resident library IP; screening the gate-level
+// rewrite should flag it as piracy, and an unrelated mux should pass.
 #include <cstdio>
 
+#include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 
 int main() {
@@ -43,8 +45,9 @@ endmodule
 )";
 
   // Train a small detector on the bundled synthetic corpus. (For real
-  // use you would train once and detector.save()/load() the weights —
-  // see examples/train_and_save.cpp.)
+  // use you would train once, detector.save() the weights, and build the
+  // service with AuditService::from_model_file — see
+  // examples/train_and_save.cpp.)
   std::printf("training hw2vec on the bundled RTL corpus...\n");
   data::RtlCorpusOptions corpus;
   corpus.instances_per_family = 6;
@@ -59,12 +62,21 @@ endmodule
   std::printf("held-out accuracy %.1f%%, decision boundary delta = %+.3f\n\n",
               100.0 * eval.confusion.accuracy(), detector.delta());
 
-  const Verdict same = detector.check(adder_behavioral, adder_structural);
-  std::printf("behavioral adder vs gate-level adder: score %+.4f -> %s\n",
-              same.similarity, same.is_piracy ? "PIRACY" : "no piracy");
+  // RTL in, verdicts out: the service owns the model and the resident
+  // library; screen() parses, embeds, and scores each submission.
+  audit::AuditOptions options;
+  options.scorer.delta = detector.delta();
+  audit::AuditService service(detector.model(), options);
+  (void)service.add_library("adder (behavioral)", adder_behavioral);
+  (void)service.submit("adder (gate-level)", adder_structural);
+  (void)service.submit("4:1 mux", unrelated_mux);
 
-  const Verdict diff = detector.check(adder_behavioral, unrelated_mux);
-  std::printf("behavioral adder vs 4:1 mux:          score %+.4f -> %s\n",
-              diff.similarity, diff.is_piracy ? "PIRACY" : "no piracy");
+  for (const audit::ScreenReport& report : service.screen()) {
+    if (!report.best) continue;
+    std::printf("%-20s vs %-20s score %+.4f -> %s\n",
+                report.submission.name.c_str(), report.best->matched.c_str(),
+                report.best->similarity,
+                report.best->flagged ? "PIRACY" : "no piracy");
+  }
   return 0;
 }

@@ -1,9 +1,10 @@
 // Train a detector on the full bundled corpus and persist the weights —
-// the deployment workflow: train once, ship the model file, load it in
-// an audit service.
+// the deployment workflow: train once, ship the model file, stand the
+// audit service up from it (audit::AuditService::from_model_file).
 #include <cstdio>
 #include <string>
 
+#include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "data/rtl_designs.h"
 
@@ -29,13 +30,23 @@ int main(int argc, char** argv) {
   detector.save(path);
   std::printf("saved model to %s\n", path.c_str());
 
-  // Reload into a fresh detector and verify behavior carries over.
-  PiracyDetector reloaded;
-  reloaded.load(path);
-  reloaded.set_delta(detector.delta());
+  // Stand a fresh audit service up from the saved file and verify the
+  // persisted weights reproduce the live model's scores: the resident
+  // counter is library IP, a same-design counter variant is screened
+  // against it.
+  audit::AuditOptions options;
+  options.scorer.delta = detector.delta();
+  audit::AuditService service =
+      audit::AuditService::from_model_file(path, options);
   const std::string a = data::gen_counter({0, 8801});
   const std::string b = data::gen_counter({1, 8802});
-  std::printf("reloaded model: counter-vs-counter score %+.4f (original %+.4f)\n",
-              reloaded.similarity(a, b), detector.similarity(a, b));
+  (void)service.add_library("counter#a", a);
+  (void)service.submit("counter#b", b);
+  for (const audit::ScreenReport& report : service.screen()) {
+    if (!report.best) continue;
+    std::printf(
+        "reloaded model: counter-vs-counter score %+.4f (original %+.4f)\n",
+        report.best->similarity, detector.similarity(a, b));
+  }
   return 0;
 }

@@ -1,0 +1,248 @@
+#include "audit/audit_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "gnn/model_io.h"
+#include "tensor/tape.h"
+#include "util/contract.h"
+#include "util/thread_pool.h"
+
+namespace gnn4ip::audit {
+
+AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
+                           std::unique_ptr<EvictionPolicy> policy)
+    : options_(options),
+      model_(std::move(model)),
+      pipeline_(options.pipeline, options.featurize),
+      corpus_(options.scorer),
+      policy_(policy ? std::move(policy)
+                     : std::make_unique<LruEvictionPolicy>()),
+      queue_(options.queue_capacity) {}
+
+AuditService AuditService::from_model_file(
+    const std::string& path, const AuditOptions& options,
+    std::unique_ptr<EvictionPolicy> policy) {
+  return AuditService(gnn::load_model_file(path), options, std::move(policy));
+}
+
+std::size_t AuditService::admit(const std::string& name,
+                                const tensor::Matrix& embedding) {
+  const auto it = index_by_name_.find(name);
+  if (it != index_by_name_.end()) {
+    // Resubmission replaces the resident row; the pin (if any) follows
+    // the name onto the fresh row.
+    corpus_.remove(it->second);
+    policy_->erase(name);
+    index_by_name_.erase(it);
+  }
+  const std::size_t index = corpus_.add(name, embedding);
+  index_by_name_[name] = index;
+  policy_->touch(name);
+  return index;
+}
+
+std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
+  if (options_.max_resident > 0) {
+    while (corpus_.live_count() > options_.max_resident) {
+      const std::optional<std::string> victim = policy_->victim(
+          [this](const std::string& n) { return pinned_.count(n) == 0; });
+      if (!victim) break;  // everything left is pinned library IP
+      const std::size_t index = index_by_name_.at(*victim);
+      corpus_.remove(index);
+      policy_->erase(*victim);
+      index_by_name_.erase(*victim);
+    }
+  }
+  // No tombstones (nothing evicted or replaced): indices are already
+  // final, so skip the compaction pass and the name-index rewrite —
+  // this keeps building a large pinned library O(N), not O(N²). An
+  // empty mapping means identity to the callers.
+  if (corpus_.live_count() == corpus_.size()) return {};
+  const std::vector<std::size_t> mapping = corpus_.compact();
+  for (auto& [name, index] : index_by_name_) {
+    index = mapping[index];
+    GNN4IP_ENSURE(index != core::PairwiseScorer::kNoIndex,
+                  "AuditService: live entry lost in compaction");
+  }
+  return mapping;
+}
+
+Submission AuditService::add_library(std::string name,
+                                     const std::string& verilog_source) {
+  const CompileResult compiled = pipeline_.compile(verilog_source);
+  if (!compiled.ok) {
+    Submission s;
+    s.name = std::move(name);
+    s.error = compiled.error;
+    return s;
+  }
+  return add_library(std::move(name), compiled.design.tensors);
+}
+
+Submission AuditService::add_library(std::string name,
+                                     gnn::GraphTensors tensors) {
+  Submission s;
+  s.name = std::move(name);
+  tensor::Tape tape;
+  const tensor::Matrix embedding = model_.embed_inference(tape, tensors);
+  const std::size_t row = admit(s.name, embedding);
+  pinned_.insert(s.name);
+  s.accepted = true;
+  const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
+  s.corpus_index = mapping.empty() ? row : mapping[row];
+  return s;
+}
+
+Submission AuditService::add_library(const train::GraphEntry& entry) {
+  return add_library(entry.name, entry.tensors);
+}
+
+bool AuditService::submit(std::string name, std::string verilog_source) {
+  PendingItem item;
+  item.name = std::move(name);
+  item.source = std::move(verilog_source);
+  item.from_source = true;
+  return queue_.try_push(std::move(item));
+}
+
+bool AuditService::submit(std::string name, gnn::GraphTensors tensors) {
+  PendingItem item;
+  item.name = std::move(name);
+  item.tensors = std::move(tensors);
+  return queue_.try_push(std::move(item));
+}
+
+bool AuditService::submit(const train::GraphEntry& entry) {
+  return submit(entry.name, entry.tensors);
+}
+
+std::vector<ScreenReport> AuditService::screen() {
+  std::vector<PendingItem> batch = queue_.drain();
+  std::vector<ScreenReport> reports(batch.size());
+  if (batch.empty()) return reports;
+
+  // Compile + embed, one slot per design: designs are independent, each
+  // worker writes only its own slot, and the per-worker tape is reset
+  // per graph — embeddings (hence every score below) are bit-identical
+  // for any worker count. A malformed design lands a Diagnostic in its
+  // own report and never touches its batch-mates.
+  std::vector<tensor::Matrix> embeddings(batch.size());
+  util::parallel_for(
+      batch.size(), options_.scorer.num_threads, [&](std::size_t i) {
+        static thread_local tensor::Tape tape;
+        PendingItem& item = batch[i];
+        reports[i].submission.name = item.name;
+        if (item.from_source) {
+          CompileResult compiled = pipeline_.compile(item.source);
+          if (!compiled.ok) {
+            reports[i].submission.error = std::move(compiled.error);
+            return;
+          }
+          item.tensors = std::move(compiled.design.tensors);
+        }
+        embeddings[i] = model_.embed_inference(tape, item.tensors);
+        reports[i].submission.accepted = true;
+      });
+
+  // Admit in submission order (deterministic LRU order; duplicate names
+  // within the batch resolve to the last submission).
+  const std::size_t watermark = corpus_.size();
+  std::vector<std::size_t> admitted_row(
+      batch.size(), core::PairwiseScorer::kNoIndex);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!reports[i].submission.accepted) continue;
+    admitted_row[i] = admit(batch[i].name, embeddings[i]);
+  }
+
+  // Score the whole batch against the pre-batch residents in one
+  // incremental pass — exactly PairwiseScorer::score_new_rows, so the
+  // verdict similarities match that path bit-for-bit.
+  if (corpus_.size() > watermark) {
+    const tensor::Matrix scores = corpus_.score_new_rows(watermark);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (admitted_row[i] == core::PairwiseScorer::kNoIndex) continue;
+      const std::span<const float> row =
+          scores.row(admitted_row[i] - watermark);
+      ScreenReport& report = reports[i];
+      for (std::size_t j = 0; j < watermark; ++j) {
+        if (!corpus_.live(j)) continue;  // replaced earlier in this batch
+        Verdict v;
+        v.matched = corpus_.name(j);
+        v.corpus_index = j;
+        v.similarity = row[j];
+        v.flagged = row[j] > options_.scorer.delta;
+        if (!report.best || v.similarity > report.best->similarity) {
+          report.best = v;
+        }
+        if (v.flagged) report.verdicts.push_back(std::move(v));
+      }
+      std::sort(report.verdicts.begin(), report.verdicts.end(),
+                [](const Verdict& x, const Verdict& y) {
+                  if (x.similarity != y.similarity) {
+                    return x.similarity > y.similarity;
+                  }
+                  return x.corpus_index < y.corpus_index;
+                });
+    }
+  }
+
+  // Bound the resident cache, then rewrite every reported index to the
+  // compacted numbering (kNoIndex = gone again already; an empty
+  // mapping means nothing moved).
+  const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ScreenReport& report = reports[i];
+    if (admitted_row[i] != core::PairwiseScorer::kNoIndex) {
+      report.submission.corpus_index =
+          mapping.empty() ? admitted_row[i] : mapping[admitted_row[i]];
+    }
+    if (mapping.empty()) continue;
+    for (Verdict& v : report.verdicts) v.corpus_index = mapping[v.corpus_index];
+    if (report.best) {
+      report.best->corpus_index = mapping[report.best->corpus_index];
+    }
+  }
+  return reports;
+}
+
+std::vector<Verdict> AuditService::top_k(const std::string& name,
+                                         std::size_t k) const {
+  const auto it = index_by_name_.find(name);
+  GNN4IP_ENSURE(it != index_by_name_.end(),
+                "AuditService::top_k: '" + name + "' is not resident");
+  std::vector<Verdict> result;
+  for (const core::PairScore& p : corpus_.top_k(it->second, k)) {
+    Verdict v;
+    v.matched = corpus_.name(p.b);
+    v.corpus_index = p.b;
+    v.similarity = p.similarity;
+    v.flagged = p.similarity > options_.scorer.delta;
+    result.push_back(std::move(v));
+  }
+  return result;
+}
+
+void AuditService::pin(const std::string& name) {
+  GNN4IP_ENSURE(contains(name),
+                "AuditService::pin: '" + name + "' is not resident");
+  pinned_.insert(name);
+}
+
+void AuditService::unpin(const std::string& name) { pinned_.erase(name); }
+
+bool AuditService::pinned(const std::string& name) const {
+  return pinned_.count(name) != 0;
+}
+
+bool AuditService::contains(const std::string& name) const {
+  return index_by_name_.count(name) != 0;
+}
+
+std::size_t AuditService::index_of(const std::string& name) const {
+  const auto it = index_by_name_.find(name);
+  return it == index_by_name_.end() ? core::PairwiseScorer::kNoIndex
+                                    : it->second;
+}
+
+}  // namespace gnn4ip::audit

@@ -1,0 +1,27 @@
+#include "audit/eviction.h"
+
+namespace gnn4ip::audit {
+
+void LruEvictionPolicy::touch(const std::string& name) {
+  const auto it = where_.find(name);
+  if (it != where_.end()) order_.erase(it->second);
+  order_.push_front(name);
+  where_[name] = order_.begin();
+}
+
+void LruEvictionPolicy::erase(const std::string& name) {
+  const auto it = where_.find(name);
+  if (it == where_.end()) return;
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+std::optional<std::string> LruEvictionPolicy::victim(
+    const std::function<bool(const std::string&)>& evictable) {
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    if (evictable(*it)) return *it;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gnn4ip::audit

@@ -1,0 +1,57 @@
+// Pluggable eviction for the resident audit corpus.
+//
+// A long-running AuditService accumulates one D-float row per screened
+// design; max_resident bounds that cache, and the policy picks which
+// unpinned entry to drop when the bound is exceeded. Policies are keyed
+// by entry *name* (names are unique within a service and survive the
+// index remapping of PairwiseScorer::compact(), so a policy never has to
+// track index shifts).
+#pragma once
+
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace gnn4ip::audit {
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// The entry was admitted to the corpus (including resubmission under
+  /// the same name). Called for every resident entry, pinned or not.
+  /// The service deliberately does not touch on screen hits: recency is
+  /// admission order, so eviction within a batch is independent of
+  /// which residents happened to match.
+  virtual void touch(const std::string& name) = 0;
+
+  /// The entry left the corpus (evicted or replaced by a resubmission).
+  virtual void erase(const std::string& name) = 0;
+
+  /// Pick the entry to evict among those where `evictable(name)` is
+  /// true (the service excludes pinned library entries). nullopt when
+  /// nothing qualifies — the service then stops evicting rather than
+  /// dropping pinned IP.
+  [[nodiscard]] virtual std::optional<std::string> victim(
+      const std::function<bool(const std::string&)>& evictable) = 0;
+};
+
+/// Least-recently-used: victim() walks from the coldest entry, skipping
+/// non-evictable (pinned) names. O(1) touch/erase via list + map.
+class LruEvictionPolicy final : public EvictionPolicy {
+ public:
+  void touch(const std::string& name) override;
+  void erase(const std::string& name) override;
+  [[nodiscard]] std::optional<std::string> victim(
+      const std::function<bool(const std::string&)>& evictable) override;
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+
+ private:
+  std::list<std::string> order_;  // front = most recent, back = coldest
+  std::unordered_map<std::string, std::list<std::string>::iterator> where_;
+};
+
+}  // namespace gnn4ip::audit

@@ -12,13 +12,19 @@
 // computed independently from the same cached rows, so the arithmetic
 // order inside a cell never depends on the schedule.
 //
+// A long-running corpus is kept bounded with the two-phase removal API:
+// remove(i) tombstones a row (cheap, batchable), compact() erases every
+// tombstoned row in one pass and reports the old→new index remapping.
+// audit::AuditService drives this from its eviction policy.
+//
 // Typical use:
 //   core::PairwiseScorer scorer;
 //   for (const auto& e : entries) scorer.add(e.name, model.embed_inference(e.tensors));
-//   auto flagged = scorer.flag(/*delta=*/0.5F);
+//   auto flagged = scorer.flag();
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -29,6 +35,9 @@
 
 namespace gnn4ip::core {
 
+/// Scoring knobs shared by every layer that scores pairs: the blocked
+/// kernel, PairwiseScorer, and audit::AuditService all read this one
+/// struct instead of re-declaring thread/block/threshold fields.
 struct ScorerOptions {
   /// Worker threads for the embedding fan-out and the blocked kernel.
   /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
@@ -38,6 +47,8 @@ struct ScorerOptions {
   /// handed to threads; 64 rows of a 16-wide embedding fit comfortably
   /// in L1 alongside the column tile.
   std::size_t block_rows = 64;
+  /// Decision boundary δ (Alg. 1): a pair is piracy when Ŷ > delta.
+  float delta = 0.5F;
 };
 
 /// One scored unordered pair (indices into the scorer's corpus).
@@ -54,8 +65,21 @@ struct PairScore {
                                          const tensor::Matrix& b,
                                          const ScorerOptions& options = {});
 
+/// Same kernel over raw row-major buffers (`a` is a_rows×dim, `b` is
+/// b_rows×dim) — lets PairwiseScorer score straight out of its resident
+/// cache without materializing an N×D Matrix copy per call.
+[[nodiscard]] tensor::Matrix cosine_rows(std::span<const float> a,
+                                         std::size_t a_rows,
+                                         std::span<const float> b,
+                                         std::size_t b_rows, std::size_t dim,
+                                         const ScorerOptions& options = {});
+
 class PairwiseScorer {
  public:
+  /// "No such row": returned by compact() for removed rows.
+  static constexpr std::size_t kNoIndex =
+      std::numeric_limits<std::size_t>::max();
+
   explicit PairwiseScorer(const ScorerOptions& options = {});
 
   /// Embed every entry once through `model` (fanned out over the worker
@@ -72,8 +96,36 @@ class PairwiseScorer {
   [[nodiscard]] bool empty() const { return names_.empty(); }
   [[nodiscard]] std::size_t dim() const { return dim_; }
   [[nodiscard]] const std::string& name(std::size_t i) const;
+  [[nodiscard]] const ScorerOptions& options() const { return options_; }
 
-  /// The cached embeddings as an N×D row matrix.
+  /// Zero-copy view of row `i` of the resident cache (length dim()).
+  /// Invalidated by add/compact, like a vector iterator.
+  [[nodiscard]] std::span<const float> row(std::size_t i) const;
+
+  /// Zero-copy view of the whole resident cache as a flat row-major
+  /// size()×dim() buffer. Same invalidation rules as row().
+  [[nodiscard]] std::span<const float> rows() const { return data_; }
+
+  /// Tombstone row `i`: it keeps its index (and name(i)) but is skipped
+  /// by top_k / score_all_pairs / flag, and erased by the next compact().
+  /// The positional kernels (score_matrix, score_new_rows, score,
+  /// score_against) still include tombstoned rows — compact() first when
+  /// exact shapes matter.
+  void remove(std::size_t i);
+
+  /// True while row `i` has not been removed.
+  [[nodiscard]] bool live(std::size_t i) const;
+
+  /// Rows not yet removed.
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+  /// Erase every removed row in one pass. Returns the index remapping:
+  /// result[old_index] is the row's new index, or kNoIndex if it was
+  /// removed. No-op (identity mapping) when nothing is removed.
+  std::vector<std::size_t> compact();
+
+  /// The cached embeddings as an N×D row matrix (copy; prefer rows()/
+  /// row() when a view suffices).
   [[nodiscard]] tensor::Matrix embedding_matrix() const;
 
   /// Full N×N symmetric cosine matrix.
@@ -87,10 +139,10 @@ class PairwiseScorer {
   /// bit-identical to the corresponding rows of score_matrix().
   [[nodiscard]] tensor::Matrix score_new_rows(std::size_t first_new) const;
 
-  /// The k corpus entries most similar to row `i` (i itself excluded),
-  /// sorted by descending similarity with ascending-index tie-break;
-  /// fewer than k results when the corpus is small. Each result has
-  /// a == i and b == the neighbour.
+  /// The k live corpus entries most similar to row `i` (i itself and
+  /// removed rows excluded), sorted by descending similarity with
+  /// ascending-index tie-break; fewer than k results when the corpus is
+  /// small. Each result has a == i and b == the neighbour.
   [[nodiscard]] std::vector<PairScore> top_k(std::size_t i,
                                              std::size_t k) const;
 
@@ -98,12 +150,16 @@ class PairwiseScorer {
   /// corpus's row i against `other`'s row j. Dims must match.
   [[nodiscard]] tensor::Matrix score_against(const PairwiseScorer& other) const;
 
-  /// All N·(N−1)/2 unordered pairs, scored from the cache.
+  /// All unordered pairs of live rows, scored from the cache.
   [[nodiscard]] std::vector<PairScore> score_all_pairs() const;
 
-  /// Pairs with similarity > delta (Alg. 1's decision boundary),
-  /// sorted by descending similarity.
+  /// Live pairs with similarity > delta (Alg. 1's decision boundary),
+  /// sorted by descending similarity. The overload without an argument
+  /// uses options().delta.
   [[nodiscard]] std::vector<PairScore> flag(float delta) const;
+  [[nodiscard]] std::vector<PairScore> flag() const {
+    return flag(options_.delta);
+  }
 
   /// Single cached pair, for spot checks against the per-pair path.
   [[nodiscard]] float score(std::size_t i, std::size_t j) const;
@@ -113,6 +169,8 @@ class PairwiseScorer {
   std::size_t dim_ = 0;
   std::vector<std::string> names_;
   std::vector<float> data_;  // row-major N×dim_
+  std::vector<bool> dead_;   // tombstones; erased by compact()
+  std::size_t live_count_ = 0;
 };
 
 }  // namespace gnn4ip::core

@@ -59,6 +59,10 @@ class Hw2Vec {
   [[nodiscard]] std::vector<tensor::Parameter*> parameters();
 
   [[nodiscard]] const Hw2VecConfig& config() const { return config_; }
+  /// Width D of the graph embedding h_G (the readout output).
+  [[nodiscard]] std::size_t embedding_dim() const {
+    return config_.hidden_dim;
+  }
   [[nodiscard]] std::vector<GcnLayer>& conv_layers() { return convs_; }
   [[nodiscard]] SagPool& pool() { return pool_; }
 

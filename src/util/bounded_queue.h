@@ -1,0 +1,82 @@
+// Bounded multi-producer queue for submission-style workloads.
+//
+// audit::AuditService accepts submissions from any number of threads and
+// drains them in batches on the screening thread. The queue is the
+// backpressure point: try_push refuses work once `capacity` items are
+// pending, so a flood of submissions degrades into "caller must screen"
+// instead of unbounded memory growth. drain() hands the consumer the
+// whole pending batch in FIFO order with one lock acquisition.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/contract.h"
+
+namespace gnn4ip::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    GNN4IP_ENSURE(capacity > 0, "BoundedQueue: capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueue unless the queue is full. Returns false (value untouched by
+  /// the queue, caller keeps it) when `capacity` items are pending.
+  [[nodiscard]] bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    space_cv_.notify_one();
+    return true;
+  }
+
+  /// Enqueue, blocking while the queue is full (classic bounded-buffer
+  /// backpressure; requires a concurrent drainer to make progress).
+  void push(T value) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock, [this] { return items_.size() < capacity_; });
+      items_.push_back(std::move(value));
+    }
+    space_cv_.notify_one();
+  }
+
+  /// Pop everything currently pending, in FIFO order (possibly empty).
+  [[nodiscard]] std::vector<T> drain() {
+    std::vector<T> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.reserve(items_.size());
+      for (T& item : items_) batch.push_back(std::move(item));
+      items_.clear();
+    }
+    space_cv_.notify_all();
+    return batch;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable space_cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace gnn4ip::util

@@ -25,11 +25,17 @@ class ParseError : public std::runtime_error {
  public:
   ParseError(std::string message, SourceLocation where)
       : std::runtime_error(where.to_string() + ": " + message),
+        message_(std::move(message)),
         location_(where) {}
+
+  /// The message without the location prefix — for callers (the audit
+  /// diagnostic surface) that carry the location as structured data.
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   [[nodiscard]] SourceLocation location() const { return location_; }
 
  private:
+  std::string message_;
   SourceLocation location_;
 };
 

@@ -1,0 +1,375 @@
+// AuditService tests: screen() parity with the raw
+// PairwiseScorer::score_new_rows path (bit-identical across worker
+// counts — the facade must never change the arithmetic), Result-style
+// per-submission diagnostics, and the eviction story (LRU, pinning,
+// capacity bounds, evict-then-resubmit).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "audit/audit_service.h"
+#include "core/gnn4ip.h"
+#include "core/pairwise_scorer.h"
+#include "data/corpus.h"
+#include "data/rtl_designs.h"
+#include "util/contract.h"
+
+namespace gnn4ip::audit {
+namespace {
+
+constexpr std::size_t kNoIndex = core::PairwiseScorer::kNoIndex;
+
+std::vector<data::CorpusItem> small_corpus_items() {
+  data::RtlCorpusOptions options;
+  options.instances_per_family = 2;
+  options.families = {"adder", "crc8", "parity", "counter"};
+  return data::build_rtl_corpus(options);
+}
+
+std::vector<train::GraphEntry> small_corpus() {
+  return make_graph_entries(small_corpus_items());
+}
+
+TEST(AuditService, ScreenBitIdenticalToScoreNewRowsAcross1And2And8Workers) {
+  // The acceptance bar: screen() verdict similarities equal the rows of
+  // PairwiseScorer::score_new_rows on an identically built corpus — not
+  // approximately, bit-for-bit — for any worker count.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 6u);
+  const std::size_t library = 5;
+
+  std::vector<std::vector<ScreenReport>> per_thread;
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    AuditOptions options;
+    options.scorer.num_threads = threads;
+    options.scorer.delta = -2.0F;  // every resident match becomes a verdict
+    AuditService service(model, options);
+    for (std::size_t i = 0; i < library; ++i) {
+      ASSERT_TRUE(service.add_library(entries[i]).accepted);
+    }
+    for (std::size_t i = library; i < entries.size(); ++i) {
+      ASSERT_TRUE(service.submit(entries[i]));
+    }
+    per_thread.push_back(service.screen());
+  }
+
+  // Reference: the hand-wired path the facade replaced.
+  core::ScorerOptions ref_options;
+  const core::PairwiseScorer reference =
+      core::PairwiseScorer::from_entries(model, entries, ref_options);
+  const tensor::Matrix expected = reference.score_new_rows(library);
+
+  for (const std::vector<ScreenReport>& reports : per_thread) {
+    ASSERT_EQ(reports.size(), entries.size() - library);
+    for (std::size_t r = 0; r < reports.size(); ++r) {
+      const ScreenReport& report = reports[r];
+      ASSERT_TRUE(report.submission.accepted);
+      ASSERT_EQ(report.verdicts.size(), library);
+      std::map<std::string, float> by_name;
+      for (const Verdict& v : report.verdicts) {
+        by_name[v.matched] = v.similarity;
+      }
+      for (std::size_t j = 0; j < library; ++j) {
+        ASSERT_TRUE(by_name.count(entries[j].name));
+        EXPECT_EQ(by_name[entries[j].name], expected.at(r, j))
+            << "query " << report.submission.name << " vs "
+            << entries[j].name;
+      }
+      ASSERT_TRUE(report.best.has_value());
+      EXPECT_EQ(report.best->similarity, report.verdicts.front().similarity);
+    }
+  }
+}
+
+TEST(AuditService, VerilogSourcePathMatchesGraphPath) {
+  // submit(name, verilog) runs parse → featurize → embed inside the
+  // service; the scores must equal the pre-featurized GraphEntry path
+  // bit-for-bit (same pipeline, same arithmetic).
+  gnn::Hw2Vec model;
+  const auto items = small_corpus_items();
+  const auto entries = make_graph_entries(items);
+  ASSERT_GE(items.size(), 4u);
+
+  const auto screen_sims = [&](bool from_source) {
+    AuditOptions options;
+    options.scorer.delta = -2.0F;
+    AuditService service(model, options);
+    (void)service.add_library(entries[0]);
+    (void)service.add_library(entries[1]);
+    for (std::size_t i = 2; i < 4; ++i) {
+      if (from_source) {
+        EXPECT_TRUE(service.submit(items[i].name, items[i].verilog));
+      } else {
+        EXPECT_TRUE(service.submit(entries[i]));
+      }
+    }
+    std::vector<float> sims;
+    for (const ScreenReport& report : service.screen()) {
+      EXPECT_TRUE(report.submission.accepted);
+      for (const Verdict& v : report.verdicts) sims.push_back(v.similarity);
+    }
+    return sims;
+  };
+
+  const std::vector<float> from_source = screen_sims(true);
+  const std::vector<float> from_graph = screen_sims(false);
+  ASSERT_EQ(from_source.size(), from_graph.size());
+  ASSERT_FALSE(from_source.empty());
+  for (std::size_t i = 0; i < from_source.size(); ++i) {
+    EXPECT_EQ(from_source[i], from_graph[i]);
+  }
+}
+
+TEST(AuditService, MalformedDesignGetsDiagnosticWithoutKillingBatch) {
+  gnn::Hw2Vec model;
+  const auto items = small_corpus_items();
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  AuditService service(model, options);
+  ASSERT_TRUE(service.add_library(items[0].name, items[0].verilog).accepted);
+
+  ASSERT_TRUE(service.submit("good#1", items[1].verilog));
+  ASSERT_TRUE(service.submit("broken", "module oops (input a, ;;;"));
+  ASSERT_TRUE(service.submit("good#2", items[2].verilog));
+  const std::vector<ScreenReport> reports = service.screen();
+  ASSERT_EQ(reports.size(), 3u);
+
+  EXPECT_TRUE(reports[0].submission.accepted);
+  EXPECT_TRUE(reports[0].best.has_value());
+  EXPECT_FALSE(reports[1].submission.accepted);
+  EXPECT_FALSE(reports[1].submission.error.message.empty());
+  EXPECT_GT(reports[1].submission.error.location.line, 0);
+  EXPECT_TRUE(reports[1].verdicts.empty());
+  EXPECT_FALSE(reports[1].best.has_value());
+  EXPECT_TRUE(reports[2].submission.accepted);
+  EXPECT_TRUE(reports[2].best.has_value());
+
+  // Only the two good designs joined the corpus.
+  EXPECT_EQ(service.resident(), 3u);
+  EXPECT_FALSE(service.contains("broken"));
+}
+
+TEST(AuditService, LibraryParseErrorReportsDiagnostic) {
+  gnn::Hw2Vec model;
+  AuditService service(model);
+  const Submission s = service.add_library("bad-lib", "module (((");
+  EXPECT_FALSE(s.accepted);
+  EXPECT_FALSE(s.error.message.empty());
+  EXPECT_EQ(service.resident(), 0u);
+}
+
+TEST(AuditService, EvictThenResubmitSameName) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditOptions options;
+  options.max_resident = 1;
+  AuditService service(model, options);
+
+  ASSERT_TRUE(service.submit("a", entries[0].tensors));
+  (void)service.screen();
+  EXPECT_TRUE(service.contains("a"));
+  EXPECT_EQ(service.resident(), 1u);
+
+  // "b" arrives: LRU evicts "a".
+  ASSERT_TRUE(service.submit("b", entries[1].tensors));
+  (void)service.screen();
+  EXPECT_FALSE(service.contains("a"));
+  EXPECT_TRUE(service.contains("b"));
+  EXPECT_EQ(service.resident(), 1u);
+
+  // Resubmitting the evicted name re-admits it cleanly.
+  ASSERT_TRUE(service.submit("a", entries[0].tensors));
+  const std::vector<ScreenReport> reports = service.screen();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].submission.accepted);
+  EXPECT_TRUE(service.contains("a"));
+  EXPECT_FALSE(service.contains("b"));
+  EXPECT_EQ(service.resident(), 1u);
+}
+
+TEST(AuditService, PinnedEntriesAreNeverEvicted) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 6u);
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  options.max_resident = 2;
+  AuditService service(model, options);
+  ASSERT_TRUE(service.add_library("lib:0", entries[0].tensors).accepted);
+  ASSERT_TRUE(service.add_library("lib:1", entries[1].tensors).accepted);
+  EXPECT_TRUE(service.pinned("lib:0"));
+
+  for (std::size_t i = 2; i < 6; ++i) {
+    ASSERT_TRUE(
+        service.submit("q" + std::to_string(i), entries[i].tensors));
+  }
+  const std::vector<ScreenReport> reports = service.screen();
+  ASSERT_EQ(reports.size(), 4u);
+  for (const ScreenReport& report : reports) {
+    // Every query was screened against both library entries...
+    EXPECT_TRUE(report.submission.accepted);
+    EXPECT_EQ(report.verdicts.size(), 2u);
+    // ...then evicted to respect max_resident == pinned library size.
+    EXPECT_EQ(report.submission.corpus_index, kNoIndex);
+  }
+  EXPECT_EQ(service.resident(), 2u);
+  EXPECT_TRUE(service.contains("lib:0"));
+  EXPECT_TRUE(service.contains("lib:1"));
+}
+
+TEST(AuditService, CapacityOneCorpusScreensAndEvicts) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  options.max_resident = 1;
+  AuditService service(model, options);
+  ASSERT_TRUE(service.add_library("lib", entries[0].tensors).accepted);
+
+  ASSERT_TRUE(service.submit("query", entries[1].tensors));
+  const std::vector<ScreenReport> reports = service.screen();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].submission.accepted);
+  ASSERT_TRUE(reports[0].best.has_value());
+  EXPECT_EQ(reports[0].best->matched, "lib");
+  // The query could not stay resident (library is pinned, bound is 1).
+  EXPECT_EQ(reports[0].submission.corpus_index, kNoIndex);
+  EXPECT_EQ(service.resident(), 1u);
+  EXPECT_TRUE(service.contains("lib"));
+}
+
+TEST(AuditService, ResubmittingResidentNameReplacesItsRow) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  AuditService service(model, options);
+  ASSERT_TRUE(service.add_library("lib", entries[0].tensors).accepted);
+
+  ASSERT_TRUE(service.submit("x", entries[1].tensors));
+  (void)service.screen();
+  ASSERT_TRUE(service.contains("x"));
+  const float before = service.corpus().score(service.index_of("lib"),
+                                              service.index_of("x"));
+
+  ASSERT_TRUE(service.submit("x", entries[2].tensors));
+  (void)service.screen();
+  EXPECT_EQ(service.resident(), 2u);
+  const float after = service.corpus().score(service.index_of("lib"),
+                                             service.index_of("x"));
+  // entries[1] and entries[2] are different designs, so replacing the
+  // row must change the cached score.
+  EXPECT_NE(before, after);
+}
+
+TEST(AuditService, TopKIndicesConsistentWithNames) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  AuditService service(model, options);
+  for (std::size_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(service.add_library(entries[i]).accepted);
+  }
+  const std::vector<Verdict> nearest = service.top_k(entries[0].name, 3);
+  ASSERT_EQ(nearest.size(), 3u);
+  for (const Verdict& v : nearest) {
+    ASSERT_NE(v.corpus_index, kNoIndex);
+    EXPECT_EQ(service.name(v.corpus_index), v.matched);
+    EXPECT_TRUE(v.flagged);  // delta is -2: every match flags
+  }
+  for (std::size_t i = 1; i < nearest.size(); ++i) {
+    EXPECT_GE(nearest[i - 1].similarity, nearest[i].similarity);
+  }
+  EXPECT_THROW((void)service.top_k("not-resident", 1),
+               util::ContractViolation);
+}
+
+TEST(AuditService, BoundedQueueRefusesBeyondCapacityUntilScreened) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditOptions options;
+  options.queue_capacity = 2;
+  AuditService service(model, options);
+  EXPECT_TRUE(service.submit("a", entries[0].tensors));
+  EXPECT_TRUE(service.submit("b", entries[1].tensors));
+  EXPECT_FALSE(service.submit("c", entries[2].tensors));
+  EXPECT_EQ(service.pending(), 2u);
+  EXPECT_EQ(service.screen().size(), 2u);
+  EXPECT_EQ(service.pending(), 0u);
+  EXPECT_TRUE(service.submit("c", entries[2].tensors));
+}
+
+TEST(AuditService, CorpusDimMatchesModelEmbeddingDim) {
+  // Guards Hw2Vec::embedding_dim() against drifting from the width the
+  // readout actually produces (the resident cache fixes its dim from a
+  // real embedding).
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  AuditService service(model);
+  ASSERT_TRUE(service.add_library(entries[0]).accepted);
+  EXPECT_EQ(service.corpus().dim(), service.model().embedding_dim());
+}
+
+TEST(AuditService, EmptyScreenIsANoOp) {
+  gnn::Hw2Vec model;
+  AuditService service(model);
+  EXPECT_TRUE(service.screen().empty());
+  EXPECT_EQ(service.resident(), 0u);
+}
+
+TEST(CompileRtl, ReportsDiagnosticsInsteadOfThrowing) {
+  const CompileResult good = compile_rtl(
+      "module T (input a, output y);\n  assign y = a;\nendmodule\n");
+  ASSERT_TRUE(good.ok);
+  EXPECT_GT(good.design.tensors.num_nodes, 0u);
+
+  const CompileResult bad = compile_rtl("module T (input a,,\n");
+  ASSERT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.message.empty());
+  EXPECT_GT(bad.error.location.line, 0);
+  EXPECT_NE(bad.error.to_string().find(':'), std::string::npos);
+}
+
+TEST(Pipeline, CompileBatchAlignsResultsWithSources) {
+  const Pipeline pipeline;
+  const std::vector<std::string> sources = {
+      "module A (input a, output y);\n  assign y = a;\nendmodule\n",
+      "module broken (",
+      "module B (input a, input b, output y);\n  assign y = a & b;\n"
+      "endmodule\n",
+  };
+  for (std::size_t threads : {1u, 4u}) {
+    const std::vector<CompileResult> results =
+        pipeline.compile_batch(sources, threads);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_TRUE(results[2].ok);
+    EXPECT_FALSE(results[1].error.message.empty());
+  }
+}
+
+TEST(LruEvictionPolicy, EvictsColdestEvictableEntry) {
+  LruEvictionPolicy lru;
+  lru.touch("a");
+  lru.touch("b");
+  lru.touch("c");
+  lru.touch("a");  // "b" is now coldest
+  const auto any = [](const std::string&) { return true; };
+  ASSERT_TRUE(lru.victim(any).has_value());
+  EXPECT_EQ(*lru.victim(any), "b");
+  // Pinned-style exclusion: skip "b", evict next-coldest.
+  EXPECT_EQ(*lru.victim([](const std::string& n) { return n != "b"; }), "c");
+  lru.erase("b");
+  EXPECT_EQ(*lru.victim(any), "c");
+  lru.erase("a");
+  lru.erase("c");
+  EXPECT_FALSE(lru.victim(any).has_value());
+}
+
+}  // namespace
+}  // namespace gnn4ip::audit

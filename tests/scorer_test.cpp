@@ -243,6 +243,102 @@ TEST(PairwiseScorer, ReusedTapeEmbeddingsMatchFreshTapePath) {
   }
 }
 
+TEST(PairwiseScorer, RowAccessorsAreZeroCopyViewsOfTheCache) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const tensor::Matrix copy = scorer.embedding_matrix();
+  const std::span<const float> flat = scorer.rows();
+  ASSERT_EQ(flat.size(), scorer.size() * scorer.dim());
+  for (std::size_t i = 0; i < scorer.size(); ++i) {
+    const std::span<const float> row = scorer.row(i);
+    ASSERT_EQ(row.size(), scorer.dim());
+    // row(i) and rows() alias the same resident buffer.
+    EXPECT_EQ(row.data(), flat.data() + i * scorer.dim());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      EXPECT_EQ(row[c], copy.at(i, c));
+    }
+  }
+  EXPECT_THROW((void)scorer.row(scorer.size()), util::ContractViolation);
+}
+
+TEST(PairwiseScorer, RemoveTombstonesAndCompactRemaps) {
+  PairwiseScorer scorer;
+  scorer.add("east", tensor::Matrix::from_rows({{1, 0}}));
+  scorer.add("near_east", tensor::Matrix::from_rows({{1, 0.1F}}));
+  scorer.add("north", tensor::Matrix::from_rows({{0, 1}}));
+  scorer.add("west", tensor::Matrix::from_rows({{-1, 0}}));
+  ASSERT_EQ(scorer.live_count(), 4u);
+
+  scorer.remove(1);  // drop near_east
+  EXPECT_FALSE(scorer.live(1));
+  EXPECT_TRUE(scorer.live(0));
+  EXPECT_EQ(scorer.live_count(), 3u);
+  EXPECT_EQ(scorer.size(), 4u);  // index space unchanged until compact
+  EXPECT_THROW(scorer.remove(1), util::ContractViolation);
+
+  // Removed rows are no longer neighbours or flaggable pairs.
+  const std::vector<PairScore> nearest = scorer.top_k(0, 99);
+  ASSERT_EQ(nearest.size(), 2u);
+  EXPECT_EQ(nearest[0].b, 2u);  // north, not the dead near_east
+  for (const PairScore& p : scorer.score_all_pairs()) {
+    EXPECT_NE(p.a, 1u);
+    EXPECT_NE(p.b, 1u);
+  }
+
+  const std::vector<std::size_t> mapping = scorer.compact();
+  ASSERT_EQ(mapping.size(), 4u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[1], PairwiseScorer::kNoIndex);
+  EXPECT_EQ(mapping[2], 1u);
+  EXPECT_EQ(mapping[3], 2u);
+  ASSERT_EQ(scorer.size(), 3u);
+  EXPECT_EQ(scorer.live_count(), 3u);
+  EXPECT_EQ(scorer.name(0), "east");
+  EXPECT_EQ(scorer.name(1), "north");
+  EXPECT_EQ(scorer.name(2), "west");
+
+  // top_k after remove/compact: indices agree with name(i).
+  const std::vector<PairScore> after = scorer.top_k(0, 99);
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(scorer.name(after[0].b), "north");
+  EXPECT_EQ(scorer.name(after[1].b), "west");
+
+  // Compacting with no tombstones is the identity.
+  const std::vector<std::size_t> identity = scorer.compact();
+  for (std::size_t i = 0; i < identity.size(); ++i) {
+    EXPECT_EQ(identity[i], i);
+  }
+}
+
+TEST(PairwiseScorer, FlagWithoutArgumentUsesOptionsDelta) {
+  ScorerOptions options;
+  options.delta = 0.9F;
+  PairwiseScorer scorer(options);
+  scorer.add("a", tensor::Matrix::from_rows({{1, 0}}));
+  scorer.add("a_copy", tensor::Matrix::from_rows({{1, 0.1F}}));
+  scorer.add("other", tensor::Matrix::from_rows({{0.7F, 0.7F}}));
+  // At δ = 0.9 only the near-copy flags; the explicit-δ overload agrees.
+  const std::vector<PairScore> implicit = scorer.flag();
+  const std::vector<PairScore> explicit_delta = scorer.flag(0.9F);
+  ASSERT_EQ(implicit.size(), 1u);
+  ASSERT_EQ(explicit_delta.size(), implicit.size());
+  EXPECT_EQ(implicit[0].b, explicit_delta[0].b);
+  EXPECT_GT(scorer.flag(0.5F).size(), implicit.size());
+}
+
+TEST(CosineRows, SpanOverloadMatchesMatrixOverload) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  const PairwiseScorer scorer = PairwiseScorer::from_entries(model, entries);
+  const tensor::Matrix emb = scorer.embedding_matrix();
+  const tensor::Matrix via_matrix = cosine_rows(emb, emb);
+  const tensor::Matrix via_span = cosine_rows(
+      scorer.rows(), scorer.size(), scorer.rows(), scorer.size(),
+      scorer.dim());
+  EXPECT_EQ(tensor::max_abs_diff(via_matrix, via_span), 0.0F);
+}
+
 TEST(PairwiseScorer, RejectsMismatchedEmbeddingDims) {
   PairwiseScorer scorer;
   scorer.add("a", tensor::Matrix(1, 4, 1.0F));

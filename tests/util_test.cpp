@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/bounded_queue.h"
 #include "util/contract.h"
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -303,6 +304,57 @@ TEST(ParallelFor, ExplicitCountsAndSharedPoolAgree) {
   EXPECT_EQ(run(2), expected);
   EXPECT_EQ(run(8), expected);
   EXPECT_EQ(run(0), expected);  // shared pool
+}
+
+TEST(BoundedQueue, TryPushRefusesBeyondCapacity) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  EXPECT_EQ(queue.size(), 2u);
+  const std::vector<int> batch = queue.drain();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0], 1);  // FIFO order
+  EXPECT_EQ(batch[1], 2);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, DrainOnEmptyReturnsNothing) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.drain().empty());
+}
+
+TEST(BoundedQueue, BlockingPushResumesAfterDrain) {
+  BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::thread producer([&] { queue.push(2); });  // blocks until drain
+  std::vector<int> first = queue.drain();
+  producer.join();
+  std::vector<int> second = queue.drain();
+  ASSERT_EQ(first.size() + second.size(), 2u);
+  EXPECT_EQ(first[0], 1);
+}
+
+TEST(BoundedQueue, ConcurrentProducersLoseNothing) {
+  BoundedQueue<int> queue(1024);
+  constexpr int kPerProducer = 100;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.try_push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  std::vector<int> all = queue.drain();
+  ASSERT_EQ(all.size(), 4u * kPerProducer);
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 4 * kPerProducer; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+  }
 }
 
 }  // namespace
