@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <future>
+#include <vector>
 
+#include "audit/async_auditor.h"
 #include "audit/audit_service.h"
 #include "baseline/graph_similarity.h"
 #include "common.h"
@@ -306,6 +309,73 @@ BENCHMARK(BM_AuditSubmit)
     ->Arg(2)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// The audit loop across shard counts: identical work to BM_AuditSubmit
+// (8 submissions screened against 56 pinned residents, then evicted),
+// but the resident corpus is split over state.range(0) hash-placed
+// shards and score_new_rows fans the shards out over the pool. Verdicts
+// are bit-identical for every Arg — the axis shows what sharding costs
+// (or buys, on multi-core hosts) with results pinned.
+void BM_ShardedScreen(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  const std::size_t library = entries.size() - 8;
+  gnn::Hw2Vec model;
+  audit::AuditOptions options;
+  options.num_shards = static_cast<std::size_t>(state.range(0));
+  options.max_resident = library;
+  audit::AuditService service(model, options);
+  for (std::size_t i = 0; i < library; ++i) {
+    (void)service.add_library(entries[i]);
+  }
+  for (auto _ : state) {
+    for (std::size_t i = library; i < entries.size(); ++i) {
+      benchmark::DoNotOptimize(service.submit(entries[i]));
+    }
+    const std::vector<audit::ScreenReport> reports = service.screen();
+    benchmark::DoNotOptimize(reports.size());
+  }
+  state.counters["resident"] = static_cast<double>(library);
+  state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ShardedScreen)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// The async front end per batch: 8 submissions handed to the
+// AsyncAuditor daemon, then all futures awaited. Measures the full
+// producer→queue→daemon→screen→future round trip (the daemon batches
+// whatever accumulates, so per-iteration batch shapes adapt to timing;
+// the corpus state each design scores against is pinned by
+// max_resident == library, keeping the work per iteration constant).
+void BM_AsyncSubmitDrain(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  const std::size_t library = entries.size() - 8;
+  gnn::Hw2Vec model;
+  audit::AuditOptions options;
+  options.num_shards = 2;
+  options.max_resident = library;
+  audit::AsyncAuditor auditor(model, options);
+  for (std::size_t i = 0; i < library; ++i) {
+    (void)auditor.service().add_library(entries[i]);
+  }
+  for (auto _ : state) {
+    std::vector<std::future<audit::ScreenReport>> futures;
+    futures.reserve(entries.size() - library);
+    for (std::size_t i = library; i < entries.size(); ++i) {
+      futures.push_back(auditor.submit(entries[i]));
+    }
+    std::size_t verdicts = 0;
+    for (std::future<audit::ScreenReport>& f : futures) {
+      verdicts += f.get().verdicts.size();
+    }
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.counters["resident"] = static_cast<double>(library);
+  state.counters["batch"] = static_cast<double>(entries.size() - library);
+}
+BENCHMARK(BM_AsyncSubmitDrain)->Unit(benchmark::kMillisecond);
 
 void BM_BaselineWl(benchmark::State& state) {
   const graph::Digraph a = dfg::extract_dfg(medium_rtl());

@@ -7,6 +7,7 @@
 //                                                 Alg. 1 piracy check
 //   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
 //              [--delta <d>] [--top-k <k>] [--max-resident <n>]
+//              [--shards <k>] [--threads <n>] [--async]
 //              <design.v> [<design2.v> ...]
 //                                                 screen designs against
 //                                                 a resident IP library
@@ -15,16 +16,27 @@
 // text format of gnn/model_io.h, produced by `train`. End-to-end piracy
 // flows (compare, audit) run through audit::AuditService; a malformed
 // design gets a per-file diagnostic and never aborts the batch.
+//
+// --shards splits the resident corpus across k hash-placed shards and
+// --async screens through the audit::AsyncAuditor daemon thread; both
+// are transparent to the output — verdicts are bit-identical to the
+// single-shard synchronous run. --threads pins the worker count; the
+// flag takes precedence over the GNN4IP_THREADS environment variable
+// (which only applies when no explicit count is set).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "audit/async_auditor.h"
 #include "audit/audit_service.h"
 #include "core/gnn4ip.h"
+#include "gnn/model_io.h"
 #include "graph/serialize.h"
 
 namespace {
@@ -52,7 +64,9 @@ int usage() {
       "  gnn4ip_cli compare <model.txt> <a.v> <b.v> [delta]\n"
       "  gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus ...]\n"
       "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
-      "             <design.v> [...]\n");
+      "             [--shards <k>] [--threads <n>] [--async]\n"
+      "             <design.v> [...]\n"
+      "  (--threads overrides the GNN4IP_THREADS environment variable)\n");
   return 2;
 }
 
@@ -144,6 +158,7 @@ int cmd_audit(const std::vector<std::string>& args) {
   std::vector<std::string> incoming_files;
   audit::AuditOptions options;
   std::size_t top_k = 0;
+  bool use_async = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto next_value = [&]() -> const std::string& {
@@ -162,6 +177,26 @@ int cmd_audit(const std::vector<std::string>& args) {
     } else if (arg == "--max-resident") {
       options.max_resident =
           static_cast<std::size_t>(std::atoi(next_value().c_str()));
+    } else if (arg == "--shards") {
+      // Parse as signed so "-1" fails validation instead of wrapping
+      // into a huge size_t.
+      const long shards = std::strtol(next_value().c_str(), nullptr, 10);
+      if (shards <= 0) {
+        std::fprintf(stderr, "error: --shards needs a positive count\n");
+        return 2;
+      }
+      options.num_shards = static_cast<std::size_t>(shards);
+    } else if (arg == "--threads") {
+      // Explicit worker count: takes precedence over GNN4IP_THREADS
+      // (the env knob only resolves when num_threads stays 0).
+      const long threads = std::strtol(next_value().c_str(), nullptr, 10);
+      if (threads <= 0) {
+        std::fprintf(stderr, "error: --threads needs a positive count\n");
+        return 2;
+      }
+      options.scorer.num_threads = static_cast<std::size_t>(threads);
+    } else if (arg == "--async") {
+      use_async = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return 2;
@@ -171,8 +206,20 @@ int cmd_audit(const std::vector<std::string>& args) {
   }
   if (corpus_files.empty() || incoming_files.empty()) return usage();
 
-  audit::AuditService service =
-      audit::AuditService::from_model_file(model_path, options);
+  // The async front end owns the service; the sync path stands one up
+  // directly. Verdicts are bit-identical either way — --async and
+  // --shards only change when and where the screening work runs.
+  std::unique_ptr<audit::AsyncAuditor> auditor;
+  std::unique_ptr<audit::AuditService> owned_service;
+  if (use_async) {
+    auditor = audit::AsyncAuditor::from_model_file(model_path, options);
+  } else {
+    owned_service = std::make_unique<audit::AuditService>(
+        gnn::load_model_file(model_path), options);
+  }
+  audit::AuditService& service =
+      use_async ? auditor->service() : *owned_service;
+
   for (const std::string& path : corpus_files) {
     const audit::Submission s = service.add_library(path, read_file(path));
     if (!s.accepted) {
@@ -181,10 +228,11 @@ int cmd_audit(const std::vector<std::string>& args) {
       return 3;
     }
   }
-  std::fprintf(stderr,
-               "resident library: %zu design(s), D=%zu, delta %+.3f\n",
-               service.resident(), service.model().embedding_dim(),
-               service.delta());
+  std::fprintf(
+      stderr,
+      "resident library: %zu design(s), D=%zu, delta %+.3f, %zu shard(s)%s\n",
+      service.resident(), service.model().embedding_dim(), service.delta(),
+      service.corpus().num_shards(), use_async ? ", async" : "");
 
   int flagged_designs = 0;
   const auto report_batch =
@@ -218,14 +266,35 @@ int cmd_audit(const std::vector<std::string>& args) {
         }
       };
 
-  for (const std::string& path : incoming_files) {
-    if (!service.submit(path, read_file(path))) {
-      // Bounded queue full: screen (and report) what we have, retry.
-      report_batch(service.screen());
-      (void)service.submit(path, read_file(path));
+  if (use_async) {
+    // Producers hand everything to the daemon and never wait on a batch
+    // boundary; futures resolve as the consumer thread screens. Reports
+    // print in submission order after quiesce() so top_k sees the final
+    // resident corpus (same as the sync path's post-screen queries).
+    std::vector<std::future<audit::ScreenReport>> futures;
+    futures.reserve(incoming_files.size());
+    for (const std::string& path : incoming_files) {
+      futures.push_back(auditor->submit(path, read_file(path)));
     }
+    auditor->quiesce();
+    std::vector<audit::ScreenReport> reports;
+    reports.reserve(futures.size());
+    for (std::future<audit::ScreenReport>& f : futures) {
+      reports.push_back(f.get());
+    }
+    report_batch(reports);
+    std::fprintf(stderr, "async: %zu submission(s) in %zu batch(es)\n",
+                 auditor->reported(), auditor->batches());
+  } else {
+    for (const std::string& path : incoming_files) {
+      if (!service.submit(path, read_file(path))) {
+        // Bounded queue full: screen (and report) what we have, retry.
+        report_batch(service.screen());
+        (void)service.submit(path, read_file(path));
+      }
+    }
+    report_batch(service.screen());
   }
-  report_batch(service.screen());
 
   std::printf("%d of %zu design(s) flagged above delta %+.3f\n",
               flagged_designs, incoming_files.size(), service.delta());

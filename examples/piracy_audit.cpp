@@ -10,10 +10,18 @@
 // malformed file, which gets a per-design diagnostic instead of killing
 // the batch. Everything flows through audit::AuditService: submit,
 // screen, verdicts.
+//
+// Part two replays the same portfolio through the production front end:
+// a two-shard resident corpus behind audit::AsyncAuditor, whose daemon
+// thread screens continuously while producers keep submitting — the
+// verdicts come back through futures, bit-identical to part one's.
 #include <cstdio>
+#include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "audit/async_auditor.h"
 #include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "data/rtl_designs.h"
@@ -83,5 +91,61 @@ int main() {
       "\n%d pair(s) flagged above delta = %+.3f; resident after eviction: "
       "%zu\n",
       flagged, service.delta(), service.resident());
+
+  // ---- Part two: the same audit as a daemon -----------------------------
+  // Production shape: the resident corpus is split across two hash-placed
+  // shards, and an AsyncAuditor consumer thread drains the submission
+  // queue continuously — producers get a future per design and never wait
+  // for a batch boundary. Shard count and async delivery change only
+  // where the work runs: the similarities below match part one's exactly.
+  std::printf("\n--- async daemon, 2-shard corpus ---\n");
+  audit::AuditOptions async_options = options;
+  async_options.num_shards = 2;
+  // The daemon batches adaptively, so screened submissions must not stay
+  // resident (a design in an earlier batch would otherwise add verdicts
+  // to later ones). Bounding the cache at the pinned-library size makes
+  // every design score against exactly the three library entries, no
+  // matter how the daemon happened to batch — which is what makes the
+  // similarities below reproducible run-to-run and equal to part one's.
+  async_options.max_resident = 3;
+  audit::AsyncAuditor auditor(detector.model(), async_options);
+  (void)auditor.service().add_library("lib:crc8", data::gen_crc8({0, 7001}));
+  (void)auditor.service().add_library("lib:uart_tx",
+                                      data::gen_uart_tx({0, 7002}));
+  (void)auditor.service().add_library("lib:fifo_ctrl",
+                                      data::gen_fifo_ctrl({0, 7003}));
+
+  std::vector<std::future<audit::ScreenReport>> futures;
+  futures.push_back(
+      auditor.submit("in:pwm (honest)", data::gen_pwm({0, 7004})));
+  futures.push_back(
+      auditor.submit("in:crc8-renamed (stolen)", data::gen_crc8({0, 7005})));
+  futures.push_back(auditor.submit("in:uart-restyled (stolen)",
+                                   data::gen_uart_tx({1, 7006})));
+  futures.push_back(
+      auditor.submit("in:corrupted", "module broken (input a, ;;;"));
+
+  for (std::future<audit::ScreenReport>& future : futures) {
+    const audit::ScreenReport report = future.get();
+    const audit::Submission& s = report.submission;
+    if (!s.accepted) {
+      std::printf("%-28s parse error: %s\n", s.name.c_str(),
+                  s.error.to_string().c_str());
+    } else if (report.verdicts.empty()) {
+      std::printf("%-28s clean (closest: %s %+.4f)\n", s.name.c_str(),
+                  report.best ? report.best->matched.c_str() : "-",
+                  report.best ? report.best->similarity : 0.0F);
+    } else {
+      for (const audit::Verdict& v : report.verdicts) {
+        std::printf("%-28s [!] matches %-14s %+.4f\n", s.name.c_str(),
+                    v.matched.c_str(), v.similarity);
+      }
+    }
+  }
+  auditor.close();
+  std::printf("daemon screened %zu submission(s) in %zu batch(es), "
+              "%zu shard(s)\n",
+              auditor.reported(), auditor.batches(),
+              auditor.service().corpus().num_shards());
   return 0;
 }

@@ -1,0 +1,187 @@
+#include "audit/async_auditor.h"
+
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gnn/model_io.h"
+
+namespace gnn4ip::audit {
+
+AsyncAuditor::AsyncAuditor(gnn::Hw2Vec model, const AuditOptions& options,
+                           AsyncOptions async,
+                           std::unique_ptr<EvictionPolicy> policy)
+    : service_(std::move(model), options, std::move(policy)),
+      async_(std::move(async)),
+      queue_(async_.queue_capacity),
+      consumer_([this] { consume(); }) {}
+
+std::unique_ptr<AsyncAuditor> AsyncAuditor::from_model_file(
+    const std::string& path, const AuditOptions& options, AsyncOptions async,
+    std::unique_ptr<EvictionPolicy> policy) {
+  return std::make_unique<AsyncAuditor>(gnn::load_model_file(path), options,
+                                        std::move(async), std::move(policy));
+}
+
+AsyncAuditor::~AsyncAuditor() { close(); }
+
+std::future<ScreenReport> AsyncAuditor::submit(std::string name,
+                                               std::string verilog_source) {
+  Job job;
+  job.name = std::move(name);
+  job.source = std::move(verilog_source);
+  job.from_source = true;
+  return enqueue(std::move(job));
+}
+
+std::future<ScreenReport> AsyncAuditor::submit(std::string name,
+                                               gnn::GraphTensors tensors) {
+  Job job;
+  job.name = std::move(name);
+  job.tensors = std::move(tensors);
+  return enqueue(std::move(job));
+}
+
+std::future<ScreenReport> AsyncAuditor::submit(const train::GraphEntry& entry) {
+  return submit(entry.name, entry.tensors);
+}
+
+std::future<ScreenReport> AsyncAuditor::enqueue(Job job) {
+  std::future<ScreenReport> future = job.promise.get_future();
+  // Count the submission as outstanding *before* pushing: the daemon may
+  // pop and report it before this thread runs again, and quiesce() must
+  // never observe reported_ > submitted_.
+  {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    ++submitted_;
+  }
+  if (!queue_.push(std::move(job))) {
+    // Lost the race with close(): `job` is untouched, so resolve its
+    // future with a rejected report instead of a broken promise. The
+    // retracted count must still wake quiesce() waiters — the predicate
+    // may have just become true, and no report will ever notify again.
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      --submitted_;
+    }
+    progress_cv_.notify_all();
+    ScreenReport report;
+    report.submission.name = std::move(job.name);
+    report.submission.error.message =
+        "AsyncAuditor is closed; submission was not screened";
+    job.promise.set_value(std::move(report));
+  }
+  return future;
+}
+
+void AsyncAuditor::consume() {
+  // One blocking pop fetches the batch seed; everything that accumulated
+  // behind it (while the previous batch was screening) rides along via
+  // the non-blocking drain. pop() returns nullopt only once the queue is
+  // closed *and* empty — drain-on-close, so no accepted submission is
+  // ever dropped.
+  while (std::optional<Job> first = queue_.pop()) {
+    std::vector<Job> batch;
+    batch.push_back(std::move(*first));
+    for (Job& job : queue_.drain()) batch.push_back(std::move(job));
+    process_batch(std::move(batch));
+  }
+}
+
+void AsyncAuditor::process_batch(std::vector<Job> batch) {
+  // The daemon is the service's only producer and screen() fully drains,
+  // so the service queue is empty at every chunk start: capping chunks
+  // at its capacity guarantees submit() below accepts — which matters,
+  // because submit() consumes the job's payload (moved into the service
+  // queue item), so a refused submission can never be retried.
+  const std::size_t chunk_cap = service_.options().queue_capacity;
+  std::size_t done = 0;
+  while (done < batch.size()) {
+    std::size_t count = 0;
+    bool refused = false;
+    while (done + count < batch.size() && count < chunk_cap) {
+      Job& job = batch[done + count];
+      const bool queued =
+          job.from_source ? service_.submit(job.name, std::move(job.source))
+                          : service_.submit(job.name, std::move(job.tensors));
+      if (!queued) {
+        // Only possible when a foreign producer feeds the owned service
+        // queue directly, violating the threading contract; handled
+        // after the chunk screens, since this job's payload is gone.
+        refused = true;
+        break;
+      }
+      ++count;
+    }
+    std::vector<ScreenReport> reports;
+    try {
+      reports = service_.screen();
+    } catch (...) {
+      // Library-bug path (e.g. ContractViolation): fail this chunk's
+      // futures instead of hanging them, and keep the daemon serving.
+      const std::exception_ptr error = std::current_exception();
+      for (std::size_t i = 0; i < count; ++i) {
+        batch[done + i].promise.set_exception(error);
+      }
+      reports.clear();
+    }
+    // reports.size() == count in every legal schedule; the bound guards
+    // against a foreign producer's items inflating the screen() batch.
+    for (std::size_t i = 0; i < count && i < reports.size(); ++i) {
+      if (async_.on_report) async_.on_report(reports[i]);
+      batch[done + i].promise.set_value(std::move(reports[i]));
+    }
+    done += count;
+    std::size_t delivered = count;
+    if (refused) {
+      // Reject the refused job's future rather than screen a moved-from
+      // payload as if it were the design.
+      Job& job = batch[done];
+      ScreenReport report;
+      report.submission.name = std::move(job.name);
+      report.submission.error.message =
+          "AsyncAuditor: audit-service queue refused the submission "
+          "(foreign producer on the owned service?)";
+      job.promise.set_value(std::move(report));
+      ++done;
+      ++delivered;
+    }
+    {
+      std::lock_guard<std::mutex> lock(progress_mu_);
+      reported_ += delivered;
+      ++batches_;
+    }
+    progress_cv_.notify_all();
+  }
+}
+
+void AsyncAuditor::quiesce() {
+  std::unique_lock<std::mutex> lock(progress_mu_);
+  progress_cv_.wait(lock, [this] { return reported_ == submitted_; });
+}
+
+void AsyncAuditor::close() {
+  queue_.close();  // push fails from here on; pending items stay poppable
+  std::lock_guard<std::mutex> lock(close_mu_);
+  if (joined_) return;
+  consumer_.join();  // consume() drains the backlog, then exits
+  joined_ = true;
+}
+
+std::size_t AsyncAuditor::submitted() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return submitted_;
+}
+
+std::size_t AsyncAuditor::reported() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return reported_;
+}
+
+std::size_t AsyncAuditor::batches() const {
+  std::lock_guard<std::mutex> lock(progress_mu_);
+  return batches_;
+}
+
+}  // namespace gnn4ip::audit

@@ -1,0 +1,144 @@
+// audit::AsyncAuditor — daemon front end over AuditService.
+//
+// AuditService is batch-synchronous: producers enqueue, then *someone*
+// must call screen() on the consumer thread, and everyone waits on that
+// batch boundary. AsyncAuditor removes the boundary. It owns the service
+// and one daemon consumer thread that drains the submission queue
+// continuously: whatever has accumulated while the previous batch was
+// screening becomes the next batch, so producers only ever block on
+// queue *capacity* (bounded-buffer backpressure), never on a batch
+// boundary, and latency degrades gracefully into larger batches under
+// load instead of stalling submitters.
+//
+//   audit::AsyncAuditor auditor(std::move(model), options);
+//   auditor.service().add_library("crc8", crc8_verilog);   // before submits
+//   std::future<ScreenReport> r = auditor.submit("in#1", verilog);
+//   ...                                   // producer keeps going; the
+//   use(r.get());                         // daemon screens in the back
+//
+// Results are delivered twice over: every submit() returns a
+// std::future<ScreenReport>, and an optional on_report callback fires on
+// the consumer thread in screening order. Verdicts are the service's —
+// bit-identical to the synchronous path for any shard count × worker
+// count, since the daemon changes *when* screen() runs, never its
+// arithmetic.
+//
+// Shutdown is drain-on-close (util::BoundedQueue::close): close() stops
+// accepting work, the daemon screens everything already accepted, every
+// outstanding future is fulfilled, and the thread joins. The destructor
+// closes implicitly. Submissions that lose the race with close() get a
+// rejected ScreenReport (a Diagnostic, not a broken promise).
+//
+// Threading contract: submit()/close()/quiesce() are safe from any
+// producer thread — but NOT from the on_report callback, which runs on
+// the consumer thread itself: close() there would self-join and
+// quiesce() there would wait on a report count that only advances after
+// the callback returns. service() is the consumer-side view — configure
+// the library before the first submit(), or call quiesce() first;
+// touching it while the daemon is mid-batch is a race.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "audit/audit_service.h"
+
+namespace gnn4ip::audit {
+
+struct AsyncOptions {
+  /// Capacity of the daemon's submission queue. Producers block (bounded
+  /// backpressure) once this many submissions await the consumer.
+  std::size_t queue_capacity = 256;
+  /// Optional push delivery: invoked on the consumer thread for every
+  /// report, in screening order, before the matching future resolves.
+  /// Must not call back into close()/quiesce() (see the threading
+  /// contract above).
+  std::function<void(const ScreenReport&)> on_report;
+};
+
+class AsyncAuditor {
+ public:
+  /// Takes ownership of the model and stands the daemon up immediately.
+  explicit AsyncAuditor(gnn::Hw2Vec model, const AuditOptions& options = {},
+                        AsyncOptions async = {},
+                        std::unique_ptr<EvictionPolicy> policy = nullptr);
+
+  /// Deployment path: load weights persisted by gnn::save_model_file.
+  [[nodiscard]] static std::unique_ptr<AsyncAuditor> from_model_file(
+      const std::string& path, const AuditOptions& options = {},
+      AsyncOptions async = {},
+      std::unique_ptr<EvictionPolicy> policy = nullptr);
+
+  AsyncAuditor(const AsyncAuditor&) = delete;
+  AsyncAuditor& operator=(const AsyncAuditor&) = delete;
+
+  /// close() + join.
+  ~AsyncAuditor();
+
+  /// Enqueue a design for the daemon; the future resolves once its batch
+  /// has been screened. Blocks only while the submission queue is at
+  /// capacity. After close(), resolves immediately with a rejected
+  /// report ("auditor closed") instead of ever losing a design silently.
+  [[nodiscard]] std::future<ScreenReport> submit(std::string name,
+                                                std::string verilog_source);
+  [[nodiscard]] std::future<ScreenReport> submit(std::string name,
+                                                 gnn::GraphTensors tensors);
+  [[nodiscard]] std::future<ScreenReport> submit(
+      const train::GraphEntry& entry);
+
+  /// Block until every submission accepted so far has been screened and
+  /// its future fulfilled. A safe point for touching service().
+  void quiesce();
+
+  /// Stop accepting submissions, screen the backlog, fulfil every
+  /// outstanding future, and join the daemon. Idempotent.
+  void close();
+
+  [[nodiscard]] bool closed() const { return queue_.closed(); }
+
+  /// Submissions accepted / reports delivered since construction.
+  [[nodiscard]] std::size_t submitted() const;
+  [[nodiscard]] std::size_t reported() const;
+  /// Batches the daemon has screened (shows the adaptive batching: slow
+  /// screens ⇒ fewer, larger batches).
+  [[nodiscard]] std::size_t batches() const;
+
+  /// The owned service. Consumer-side: use before the first submit() or
+  /// after quiesce()/close().
+  [[nodiscard]] AuditService& service() { return service_; }
+  [[nodiscard]] const AuditService& service() const { return service_; }
+
+ private:
+  struct Job {
+    std::string name;
+    std::string source;         // valid when from_source
+    gnn::GraphTensors tensors;  // valid otherwise
+    bool from_source = false;
+    std::promise<ScreenReport> promise;
+  };
+
+  [[nodiscard]] std::future<ScreenReport> enqueue(Job job);
+  void consume();                          // daemon thread body
+  void process_batch(std::vector<Job> batch);
+
+  AuditService service_;
+  AsyncOptions async_;
+  util::BoundedQueue<Job> queue_;
+
+  mutable std::mutex progress_mu_;
+  std::condition_variable progress_cv_;
+  std::size_t submitted_ = 0;  // guarded by progress_mu_
+  std::size_t reported_ = 0;   // guarded by progress_mu_
+  std::size_t batches_ = 0;    // guarded by progress_mu_
+
+  std::mutex close_mu_;  // serializes close(); joined_ guarded by it
+  bool joined_ = false;
+  std::thread consumer_;  // last member: started after everything above
+};
+
+}  // namespace gnn4ip::audit

@@ -15,7 +15,7 @@ AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
     : options_(options),
       model_(std::move(model)),
       pipeline_(options.pipeline, options.featurize),
-      corpus_(options.scorer),
+      corpus_(options.num_shards, options.scorer, options.shard_budget),
       policy_(policy ? std::move(policy)
                      : std::make_unique<LruEvictionPolicy>()),
       queue_(options.queue_capacity) {}
@@ -43,15 +43,34 @@ std::size_t AuditService::admit(const std::string& name,
 }
 
 std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
+  const auto evict = [this](const std::string& victim) {
+    corpus_.remove(index_by_name_.at(victim));
+    policy_->erase(victim);
+    index_by_name_.erase(victim);
+  };
   if (options_.max_resident > 0) {
     while (corpus_.live_count() > options_.max_resident) {
       const std::optional<std::string> victim = policy_->victim(
           [this](const std::string& n) { return pinned_.count(n) == 0; });
       if (!victim) break;  // everything left is pinned library IP
-      const std::size_t index = index_by_name_.at(*victim);
-      corpus_.remove(index);
-      policy_->erase(*victim);
-      index_by_name_.erase(*victim);
+      evict(*victim);
+    }
+  }
+  // Per-shard budgets, enforced with the same policy order and pinning
+  // rules but restricted to names placed in the over-budget shard: one
+  // hot shard (hash skew, adversarial names) cannot crowd out the rest
+  // of the resident cache.
+  if (corpus_.shard_budget() > 0) {
+    for (std::size_t s = 0; s < corpus_.num_shards(); ++s) {
+      while (corpus_.shard_live_count(s) > corpus_.shard_budget()) {
+        const std::optional<std::string> victim =
+            policy_->victim([this, s](const std::string& n) {
+              return pinned_.count(n) == 0 &&
+                     corpus_.shard_of(index_by_name_.at(n)) == s;
+            });
+        if (!victim) break;  // the shard holds only pinned library IP
+        evict(*victim);
+      }
     }
   }
   // No tombstones (nothing evicted or replaced): indices are already
@@ -62,7 +81,7 @@ std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
   const std::vector<std::size_t> mapping = corpus_.compact();
   for (auto& [name, index] : index_by_name_) {
     index = mapping[index];
-    GNN4IP_ENSURE(index != core::PairwiseScorer::kNoIndex,
+    GNN4IP_ENSURE(index != core::ShardedCorpus::kNoIndex,
                   "AuditService: live entry lost in compaction");
   }
   return mapping;
@@ -126,10 +145,12 @@ std::vector<ScreenReport> AuditService::screen() {
   // worker writes only its own slot, and the per-worker tape is reset
   // per graph — embeddings (hence every score below) are bit-identical
   // for any worker count. A malformed design lands a Diagnostic in its
-  // own report and never touches its batch-mates.
+  // own report and never touches its batch-mates. The fan-out rides the
+  // corpus's worker resolution (owned pool for explicit counts — no
+  // transient pool spawn per batch on this hot path).
   std::vector<tensor::Matrix> embeddings(batch.size());
-  util::parallel_for(
-      batch.size(), options_.scorer.num_threads, [&](std::size_t i) {
+  corpus_.fan_out(
+      batch.size(), [&](std::size_t i) {
         static thread_local tensor::Tape tape;
         PendingItem& item = batch[i];
         reports[i].submission.name = item.name;
@@ -149,19 +170,19 @@ std::vector<ScreenReport> AuditService::screen() {
   // within the batch resolve to the last submission).
   const std::size_t watermark = corpus_.size();
   std::vector<std::size_t> admitted_row(
-      batch.size(), core::PairwiseScorer::kNoIndex);
+      batch.size(), core::ShardedCorpus::kNoIndex);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (!reports[i].submission.accepted) continue;
     admitted_row[i] = admit(batch[i].name, embeddings[i]);
   }
 
   // Score the whole batch against the pre-batch residents in one
-  // incremental pass — exactly PairwiseScorer::score_new_rows, so the
-  // verdict similarities match that path bit-for-bit.
+  // incremental pass — ShardedCorpus::score_new_rows, bit-identical to
+  // the single-shard PairwiseScorer path for any shard/worker count.
   if (corpus_.size() > watermark) {
     const tensor::Matrix scores = corpus_.score_new_rows(watermark);
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (admitted_row[i] == core::PairwiseScorer::kNoIndex) continue;
+      if (admitted_row[i] == core::ShardedCorpus::kNoIndex) continue;
       const std::span<const float> row =
           scores.row(admitted_row[i] - watermark);
       ScreenReport& report = reports[i];
@@ -193,7 +214,7 @@ std::vector<ScreenReport> AuditService::screen() {
   const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
   for (std::size_t i = 0; i < batch.size(); ++i) {
     ScreenReport& report = reports[i];
-    if (admitted_row[i] != core::PairwiseScorer::kNoIndex) {
+    if (admitted_row[i] != core::ShardedCorpus::kNoIndex) {
       report.submission.corpus_index =
           mapping.empty() ? admitted_row[i] : mapping[admitted_row[i]];
     }
@@ -241,7 +262,7 @@ bool AuditService::contains(const std::string& name) const {
 
 std::size_t AuditService::index_of(const std::string& name) const {
   const auto it = index_by_name_.find(name);
-  return it == index_by_name_.end() ? core::PairwiseScorer::kNoIndex
+  return it == index_by_name_.end() ? core::ShardedCorpus::kNoIndex
                                     : it->second;
 }
 

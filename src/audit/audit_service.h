@@ -5,8 +5,8 @@
 //
 // The service owns the three pieces every deployment needs and the
 // examples used to hand-wire: a loaded Hw2Vec model, a resident corpus
-// (a core::PairwiseScorer cache of one D-float row per design), and the
-// shared worker pool. The flow is:
+// (a core::ShardedCorpus — K EmbeddingStore shards of one D-float row
+// per design), and the shared worker pool. The flow is:
 //
 //   audit::AuditService service(model);            // or from_model_file
 //   service.add_library("crc8", crc8_verilog);     // pinned resident IP
@@ -18,14 +18,18 @@
 // Error handling is Result-style per submission: a malformed design
 // yields a Diagnostic in its ScreenReport and never kills the batch.
 // The resident cache is bounded by max_resident with a pluggable
-// EvictionPolicy (LRU by default); pinned library entries are never
-// evicted. Scores are bit-identical for any worker count — screen()
-// reads the same score_new_rows rows a hand-built PairwiseScorer would
-// produce.
+// EvictionPolicy (LRU by default), plus an optional per-shard budget;
+// pinned library entries are never evicted. Scores are bit-identical
+// for any shard count and any worker count — screen() reads the same
+// score_new_rows cells a hand-built single-shard PairwiseScorer would
+// produce, because both sit on the same core/cosine_kernels arithmetic
+// and the sharded corpus keeps a shard-count-independent global index
+// space.
 //
 // Threading: submit() is safe from any number of producer threads;
 // screen(), add_library(), and top_k() mutate the corpus and belong to
-// one consumer thread (the screening loop).
+// one consumer thread (the screening loop). audit::AsyncAuditor wraps a
+// service in exactly that consumer thread when callers want a daemon.
 #pragma once
 
 #include <memory>
@@ -37,7 +41,7 @@
 
 #include "audit/eviction.h"
 #include "audit/pipeline.h"
-#include "core/pairwise_scorer.h"
+#include "core/sharded_corpus.h"
 #include "gnn/hw2vec.h"
 #include "train/dataset.h"
 #include "util/bounded_queue.h"
@@ -45,14 +49,22 @@
 namespace gnn4ip::audit {
 
 struct AuditOptions {
-  /// Scoring knobs shared with core::PairwiseScorer — worker threads,
+  /// Scoring knobs shared with the core scoring layers — worker threads,
   /// kernel block size, and the decision boundary δ live here once
   /// instead of being re-declared per layer.
   core::ScorerOptions scorer;
+  /// Shards of the resident corpus (deterministic name-hash placement).
+  /// Verdicts are bit-identical for any value; more shards buy parallel
+  /// scoring fan-out and independent eviction budgets.
+  std::size_t num_shards = 1;
   /// Resident-cache bound (live rows). 0 = unbounded. Pinned library
   /// entries count toward the bound but are never evicted, so a fully
   /// pinned corpus may exceed it.
   std::size_t max_resident = 0;
+  /// Per-shard live-row budget (0 = unbounded). Enforced after
+  /// max_resident with the same policy/pinning rules, so one hot shard
+  /// cannot monopolize the resident cache.
+  std::size_t shard_budget = 0;
   /// Capacity of the bounded submission queue; submit() refuses work
   /// beyond this until the consumer screens.
   std::size_t queue_capacity = 256;
@@ -68,7 +80,7 @@ struct Submission {
   /// Index in the (compacted) corpus after screen(); kNoIndex when the
   /// entry was rejected, evicted in the same call, or replaced by a
   /// later submission of the same name.
-  std::size_t corpus_index = core::PairwiseScorer::kNoIndex;
+  std::size_t corpus_index = core::ShardedCorpus::kNoIndex;
   Diagnostic error;  // valid when !accepted
 };
 
@@ -77,7 +89,7 @@ struct Verdict {
   std::string matched;  // corpus entry name at scoring time
   /// Post-compaction index of the matched entry; kNoIndex if it was
   /// evicted by the same screen() call that produced the verdict.
-  std::size_t corpus_index = core::PairwiseScorer::kNoIndex;
+  std::size_t corpus_index = core::ShardedCorpus::kNoIndex;
   float similarity = 0.0F;  // Ŷ ∈ [−1, 1]
   bool flagged = false;     // Ŷ > δ (Alg. 1 decision)
 };
@@ -129,9 +141,10 @@ class AuditService {
   /// Drain the queue as one batch: compile + embed in parallel (one
   /// slot per design; bit-identical for any worker count), admit the
   /// accepted designs, score them against the pre-batch resident corpus
-  /// via PairwiseScorer::score_new_rows, then evict down to
-  /// max_resident and compact. Reports align with submission order;
-  /// duplicate names within a batch resolve to the last submission.
+  /// via ShardedCorpus::score_new_rows (shards fanned out over the
+  /// worker pool), then evict down to max_resident / shard_budget and
+  /// compact. Reports align with submission order; duplicate names
+  /// within a batch resolve to the last submission.
   std::vector<ScreenReport> screen();
 
   /// The k resident entries most similar to resident entry `name`
@@ -155,9 +168,9 @@ class AuditService {
   void set_delta(float delta) { options_.scorer.delta = delta; }
   [[nodiscard]] const AuditOptions& options() const { return options_; }
   [[nodiscard]] gnn::Hw2Vec& model() { return model_; }
-  /// The resident scorer cache (tests and benches compare against the
-  /// raw PairwiseScorer paths through this).
-  [[nodiscard]] const core::PairwiseScorer& corpus() const { return corpus_; }
+  /// The resident sharded cache (tests and benches compare against the
+  /// raw core scoring paths through this).
+  [[nodiscard]] const core::ShardedCorpus& corpus() const { return corpus_; }
 
  private:
   struct PendingItem {
@@ -171,15 +184,16 @@ class AuditService {
   /// same name. Returns the (pre-compaction) row index.
   std::size_t admit(const std::string& name,
                     const tensor::Matrix& embedding);
-  /// Evict down to max_resident (never pinned entries), then compact
-  /// the corpus and remap the name index. Returns the old→new mapping;
-  /// empty when nothing was removed (indices unchanged).
+  /// Evict down to max_resident, then down to shard_budget per shard
+  /// (never pinned entries), then compact the corpus and remap the name
+  /// index. Returns the old→new mapping; empty when nothing was removed
+  /// (indices unchanged).
   std::vector<std::size_t> enforce_capacity_and_compact();
 
   AuditOptions options_;
   gnn::Hw2Vec model_;
   Pipeline pipeline_;
-  core::PairwiseScorer corpus_;
+  core::ShardedCorpus corpus_;
   std::unique_ptr<EvictionPolicy> policy_;
   util::BoundedQueue<PendingItem> queue_;
   std::unordered_map<std::string, std::size_t> index_by_name_;

@@ -4,7 +4,7 @@
 // design; max_resident bounds that cache, and the policy picks which
 // unpinned entry to drop when the bound is exceeded. Policies are keyed
 // by entry *name* (names are unique within a service and survive the
-// index remapping of PairwiseScorer::compact(), so a policy never has to
+// index remapping of the corpus compact(), so a policy never has to
 // track index shifts).
 #pragma once
 

@@ -1,0 +1,107 @@
+// Free-function cosine kernels and the scoring knobs they share.
+//
+// Every layer that scores embeddings — the single-shard PairwiseScorer,
+// the ShardedCorpus, and audit::AuditService — funnels through these
+// kernels, so the arithmetic (accumulation order, norm floor, clamping)
+// is defined exactly once. That single definition is what makes the
+// repo's determinism guarantee composable: any path that scores the same
+// two rows produces the same bits, no matter which layer asked.
+//
+// Per-cell arithmetic: dot product accumulated in ascending-k order,
+// norms as sqrt of an ascending-k sum of squares, denominator floored at
+// kNormFloor (all-zero embeddings score 0 instead of NaN), result
+// clamped into [-1, 1].
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4ip::core {
+
+/// Scoring knobs shared by every layer that scores pairs: the blocked
+/// kernel, PairwiseScorer, ShardedCorpus, and audit::AuditService all
+/// read this one struct instead of re-declaring thread/block/threshold
+/// fields.
+struct ScorerOptions {
+  /// Worker threads for the embedding fan-out and the blocked kernel.
+  /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
+  /// concurrency). Results are bit-identical for any value.
+  std::size_t num_threads = 0;
+  /// Rows per tile of the blocked kernel. Tiles are the unit of work
+  /// handed to threads; 64 rows of a 16-wide embedding fit comfortably
+  /// in L1 alongside the column tile.
+  std::size_t block_rows = 64;
+  /// Decision boundary δ (Alg. 1): a pair is piracy when Ŷ > delta.
+  float delta = 0.5F;
+};
+
+/// One scored unordered pair (indices into the owning corpus).
+struct PairScore {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  float similarity = 0.0F;  // Ŷ ∈ [−1, 1]
+};
+
+/// Fixed result order shared by every flag() implementation: descending
+/// similarity, then ascending (a, b) — a total order over distinct
+/// pairs, so sorted output is identical no matter which layer (or shard
+/// bucketing) produced the candidates.
+[[nodiscard]] inline bool flag_order(const PairScore& x, const PairScore& y) {
+  if (x.similarity != y.similarity) return x.similarity > y.similarity;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// Guard on the norm *product*, exactly like PiracyDetector::similarity:
+/// all-zero embeddings score 0 instead of NaN, and the result is clamped
+/// into the documented [-1, 1] so every path agrees bit-for-bit on
+/// degenerate inputs too.
+inline constexpr float kNormFloor = 1e-8F;
+
+/// Euclidean norm of one row (ascending-k sum of squares, then sqrt) —
+/// the exact norm arithmetic of every kernel below.
+[[nodiscard]] float row_norm(std::span<const float> row);
+
+/// One cell of the batched kernels: ascending-k dot of two D-rows over a
+/// precomputed norm product, floored and clamped. THE per-cell
+/// definition — every loop that scores rows against precomputed norms
+/// (cosine_rows, the score_new_rows paths, ShardedCorpus's pair sweep)
+/// must call this so the cross-layer bit-identity contract has exactly
+/// one implementation to drift from.
+[[nodiscard]] inline float cosine_cell(const float* a, const float* b,
+                                       std::size_t dim, float norm_product) {
+  float acc = 0.0F;
+  for (std::size_t k = 0; k < dim; ++k) acc += a[k] * b[k];
+  return std::clamp(acc / std::max(norm_product, kNormFloor), -1.0F, 1.0F);
+}
+
+/// row_norm of every row of a flat row-major rows×dim buffer.
+[[nodiscard]] std::vector<float> row_norms(std::span<const float> data,
+                                           std::size_t rows, std::size_t dim);
+
+/// Cosine of two equal-length rows, bit-identical to a cell of
+/// cosine_rows on the same inputs.
+[[nodiscard]] float cosine_pair(std::span<const float> a,
+                                std::span<const float> b);
+
+/// Cosine similarity between every row of `a` and every row of `b`
+/// (result is a.rows() × b.rows()). The blocked kernel behind
+/// PairwiseScorer, exposed for reuse and benchmarking. Zero rows score 0.
+[[nodiscard]] tensor::Matrix cosine_rows(const tensor::Matrix& a,
+                                         const tensor::Matrix& b,
+                                         const ScorerOptions& options = {});
+
+/// Same kernel over raw row-major buffers (`a` is a_rows×dim, `b` is
+/// b_rows×dim) — lets a resident cache score straight out of its rows
+/// without materializing an N×D Matrix copy per call.
+[[nodiscard]] tensor::Matrix cosine_rows(std::span<const float> a,
+                                         std::size_t a_rows,
+                                         std::span<const float> b,
+                                         std::size_t b_rows, std::size_t dim,
+                                         const ScorerOptions& options = {});
+
+}  // namespace gnn4ip::core

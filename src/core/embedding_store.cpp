@@ -1,0 +1,77 @@
+#include "core/embedding_store.h"
+
+#include <algorithm>
+
+#include "util/contract.h"
+
+namespace gnn4ip::core {
+
+std::size_t EmbeddingStore::add(std::string name,
+                                const tensor::Matrix& embedding) {
+  GNN4IP_ENSURE(!embedding.empty(), "EmbeddingStore: empty embedding");
+  if (dim_ == 0) {
+    dim_ = embedding.size();
+  } else {
+    GNN4IP_ENSURE(embedding.size() == dim_,
+                  "EmbeddingStore: embedding dim " +
+                      std::to_string(embedding.size()) + " != corpus dim " +
+                      std::to_string(dim_));
+  }
+  const std::span<const float> flat = embedding.data();
+  data_.insert(data_.end(), flat.begin(), flat.end());
+  names_.push_back(std::move(name));
+  dead_.push_back(false);
+  ++live_count_;
+  return names_.size() - 1;
+}
+
+const std::string& EmbeddingStore::name(std::size_t i) const {
+  GNN4IP_ENSURE(i < names_.size(), "EmbeddingStore: index out of range");
+  return names_[i];
+}
+
+std::span<const float> EmbeddingStore::row(std::size_t i) const {
+  GNN4IP_ENSURE(i < names_.size(), "EmbeddingStore: row index out of range");
+  return std::span<const float>(data_).subspan(i * dim_, dim_);
+}
+
+void EmbeddingStore::remove(std::size_t i) {
+  GNN4IP_ENSURE(i < names_.size(), "EmbeddingStore: remove out of range");
+  GNN4IP_ENSURE(!dead_[i], "EmbeddingStore: row already removed");
+  dead_[i] = true;
+  --live_count_;
+}
+
+bool EmbeddingStore::live(std::size_t i) const {
+  GNN4IP_ENSURE(i < names_.size(), "EmbeddingStore: index out of range");
+  return !dead_[i];
+}
+
+std::vector<std::size_t> EmbeddingStore::compact() {
+  std::vector<std::size_t> mapping(names_.size(), kNoIndex);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (dead_[i]) continue;
+    mapping[i] = next;
+    if (next != i) {
+      names_[next] = std::move(names_[i]);
+      std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i * dim_),
+                data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_),
+                data_.begin() + static_cast<std::ptrdiff_t>(next * dim_));
+    }
+    ++next;
+  }
+  names_.resize(next);
+  data_.resize(next * dim_);
+  dead_.assign(next, false);
+  live_count_ = next;
+  return mapping;
+}
+
+tensor::Matrix EmbeddingStore::embedding_matrix() const {
+  tensor::Matrix m(names_.size(), dim_);
+  std::copy(data_.begin(), data_.end(), m.data().begin());
+  return m;
+}
+
+}  // namespace gnn4ip::core

@@ -1,0 +1,77 @@
+// Contiguous embedding-row storage — the resident half of a corpus.
+//
+// One design = one D-float row plus its name. The store keeps rows in a
+// single row-major buffer (cache-friendly for the blocked kernels, and
+// zero-copy viewable through row()/rows()), and stays bounded through
+// the two-phase removal API: remove(i) tombstones a row (cheap,
+// batchable), compact() erases every tombstoned row in one pass and
+// reports the old→new index remapping.
+//
+// The store holds no scoring logic and no threading — it is the shard
+// unit. PairwiseScorer wraps exactly one store (the single-shard view
+// kept for tests and benches); ShardedCorpus owns K of them and merges
+// across; audit::AuditService sits on top of the latter.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace gnn4ip::core {
+
+class EmbeddingStore {
+ public:
+  /// "No such row": returned by compact() for removed rows.
+  static constexpr std::size_t kNoIndex =
+      std::numeric_limits<std::size_t>::max();
+
+  /// Append one design's embedding (a 1×D matrix, or any shape viewed as
+  /// a flat D-vector; D is fixed by the first add). Returns its index.
+  std::size_t add(std::string name, const tensor::Matrix& embedding);
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] const std::string& name(std::size_t i) const;
+
+  /// Zero-copy view of row `i` of the store (length dim()).
+  /// Invalidated by add/compact, like a vector iterator.
+  [[nodiscard]] std::span<const float> row(std::size_t i) const;
+
+  /// Zero-copy view of the whole store as a flat row-major size()×dim()
+  /// buffer. Same invalidation rules as row().
+  [[nodiscard]] std::span<const float> rows() const { return data_; }
+
+  /// Tombstone row `i`: it keeps its index (and name(i)) — and its data
+  /// stays positionally addressable through row() — but it is skipped by
+  /// live-row consumers and erased by the next compact().
+  void remove(std::size_t i);
+
+  /// True while row `i` has not been removed.
+  [[nodiscard]] bool live(std::size_t i) const;
+
+  /// Rows not yet removed.
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+  /// Erase every removed row in one pass. Returns the index remapping:
+  /// result[old_index] is the row's new index, or kNoIndex if it was
+  /// removed. No-op (identity mapping) when nothing is removed.
+  std::vector<std::size_t> compact();
+
+  /// The stored embeddings as an N×D row matrix (copy; prefer rows()/
+  /// row() when a view suffices).
+  [[nodiscard]] tensor::Matrix embedding_matrix() const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::string> names_;
+  std::vector<float> data_;  // row-major N×dim_
+  std::vector<bool> dead_;   // tombstones; erased by compact()
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace gnn4ip::core

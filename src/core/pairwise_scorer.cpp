@@ -1,79 +1,11 @@
 #include "core/pairwise_scorer.h"
 
 #include <algorithm>
-#include <cmath>
 
 #include "util/contract.h"
 #include "util/thread_pool.h"
 
 namespace gnn4ip::core {
-namespace {
-
-/// Guard on the norm *product*, exactly like PiracyDetector::similarity:
-/// all-zero embeddings score 0 instead of NaN, and the result is clamped
-/// into the documented [-1, 1] so the two paths agree bit-for-bit on
-/// degenerate inputs too.
-constexpr float kNormFloor = 1e-8F;
-
-[[nodiscard]] std::vector<float> row_norms(std::span<const float> data,
-                                           std::size_t rows,
-                                           std::size_t dim) {
-  std::vector<float> norms(rows);
-  for (std::size_t i = 0; i < rows; ++i) {
-    const float* row = data.data() + i * dim;
-    float sq = 0.0F;
-    for (std::size_t k = 0; k < dim; ++k) sq += row[k] * row[k];
-    norms[i] = std::sqrt(sq);
-  }
-  return norms;
-}
-
-}  // namespace
-
-tensor::Matrix cosine_rows(std::span<const float> a, std::size_t a_rows,
-                           std::span<const float> b, std::size_t b_rows,
-                           std::size_t dim, const ScorerOptions& options) {
-  GNN4IP_ENSURE(a.size() == a_rows * dim && b.size() == b_rows * dim,
-                "cosine_rows: buffer size does not match rows × dim");
-  tensor::Matrix result(a_rows, b_rows);
-  if (a_rows == 0 || b_rows == 0) return result;
-
-  const std::vector<float> norms_a = row_norms(a, a_rows, dim);
-  const std::vector<float> norms_b = row_norms(b, b_rows, dim);
-  const std::size_t block = std::max<std::size_t>(options.block_rows, 1);
-  const std::size_t row_tiles = (a_rows + block - 1) / block;
-  const std::size_t col_tiles = (b_rows + block - 1) / block;
-
-  const auto run_tile = [&](std::size_t tile) {
-    const std::size_t i0 = (tile / col_tiles) * block;
-    const std::size_t j0 = (tile % col_tiles) * block;
-    const std::size_t i1 = std::min(i0 + block, a_rows);
-    const std::size_t j1 = std::min(j0 + block, b_rows);
-    for (std::size_t i = i0; i < i1; ++i) {
-      const float* ra = a.data() + i * dim;
-      const std::span<float> out = result.row(i);
-      for (std::size_t j = j0; j < j1; ++j) {
-        const float* rb = b.data() + j * dim;
-        float acc = 0.0F;
-        for (std::size_t k = 0; k < dim; ++k) acc += ra[k] * rb[k];
-        const float denom = std::max(norms_a[i] * norms_b[j], kNormFloor);
-        out[j] = std::clamp(acc / denom, -1.0F, 1.0F);
-      }
-    }
-  };
-  util::parallel_for(row_tiles * col_tiles, options.num_threads, run_tile);
-  return result;
-}
-
-tensor::Matrix cosine_rows(const tensor::Matrix& a, const tensor::Matrix& b,
-                           const ScorerOptions& options) {
-  GNN4IP_ENSURE(a.cols() == b.cols(),
-                "cosine_rows: dimension mismatch " + a.shape_string() +
-                    " vs " + b.shape_string());
-  if (a.rows() == 0 || b.rows() == 0) return tensor::Matrix(a.rows(), b.rows());
-  return cosine_rows(a.data(), a.rows(), b.data(), b.rows(), a.cols(),
-                     options);
-}
 
 PairwiseScorer::PairwiseScorer(const ScorerOptions& options)
     : options_(options) {}
@@ -82,7 +14,6 @@ PairwiseScorer PairwiseScorer::from_entries(
     gnn::Hw2Vec& model, std::span<const train::GraphEntry> entries,
     const ScorerOptions& options) {
   PairwiseScorer scorer(options);
-  scorer.names_.reserve(entries.size());
   // Graphs are independent, so the embedding phase fans out over the
   // worker pool; each worker fills only its own slot and the rows are
   // appended in corpus order afterwards, so the cache is bit-identical
@@ -105,74 +36,11 @@ PairwiseScorer PairwiseScorer::from_entries(
 
 std::size_t PairwiseScorer::add(std::string name,
                                 const tensor::Matrix& embedding) {
-  GNN4IP_ENSURE(!embedding.empty(), "PairwiseScorer: empty embedding");
-  if (dim_ == 0) {
-    dim_ = embedding.size();
-  } else {
-    GNN4IP_ENSURE(embedding.size() == dim_,
-                  "PairwiseScorer: embedding dim " +
-                      std::to_string(embedding.size()) +
-                      " != corpus dim " + std::to_string(dim_));
-  }
-  const std::span<const float> flat = embedding.data();
-  data_.insert(data_.end(), flat.begin(), flat.end());
-  names_.push_back(std::move(name));
-  dead_.push_back(false);
-  ++live_count_;
-  return names_.size() - 1;
-}
-
-const std::string& PairwiseScorer::name(std::size_t i) const {
-  GNN4IP_ENSURE(i < names_.size(), "PairwiseScorer: index out of range");
-  return names_[i];
-}
-
-std::span<const float> PairwiseScorer::row(std::size_t i) const {
-  GNN4IP_ENSURE(i < names_.size(), "PairwiseScorer: row index out of range");
-  return std::span<const float>(data_).subspan(i * dim_, dim_);
-}
-
-void PairwiseScorer::remove(std::size_t i) {
-  GNN4IP_ENSURE(i < names_.size(), "PairwiseScorer: remove out of range");
-  GNN4IP_ENSURE(!dead_[i], "PairwiseScorer: row already removed");
-  dead_[i] = true;
-  --live_count_;
-}
-
-bool PairwiseScorer::live(std::size_t i) const {
-  GNN4IP_ENSURE(i < names_.size(), "PairwiseScorer: index out of range");
-  return !dead_[i];
-}
-
-std::vector<std::size_t> PairwiseScorer::compact() {
-  std::vector<std::size_t> mapping(names_.size(), kNoIndex);
-  std::size_t next = 0;
-  for (std::size_t i = 0; i < names_.size(); ++i) {
-    if (dead_[i]) continue;
-    mapping[i] = next;
-    if (next != i) {
-      names_[next] = std::move(names_[i]);
-      std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i * dim_),
-                data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * dim_),
-                data_.begin() + static_cast<std::ptrdiff_t>(next * dim_));
-    }
-    ++next;
-  }
-  names_.resize(next);
-  data_.resize(next * dim_);
-  dead_.assign(next, false);
-  live_count_ = next;
-  return mapping;
-}
-
-tensor::Matrix PairwiseScorer::embedding_matrix() const {
-  tensor::Matrix m(names_.size(), dim_);
-  std::copy(data_.begin(), data_.end(), m.data().begin());
-  return m;
+  return store_.add(std::move(name), embedding);
 }
 
 tensor::Matrix PairwiseScorer::score_matrix() const {
-  return cosine_rows(rows(), size(), rows(), size(), dim_, options_);
+  return cosine_rows(rows(), size(), rows(), size(), dim(), options_);
 }
 
 tensor::Matrix PairwiseScorer::score_against(
@@ -180,8 +48,8 @@ tensor::Matrix PairwiseScorer::score_against(
   // Either side empty: a correctly shaped all-zero result, regardless of
   // which side has not fixed its dim yet.
   if (empty() || other.empty()) return tensor::Matrix(size(), other.size());
-  GNN4IP_ENSURE(dim_ == other.dim_, "score_against: corpus dims differ");
-  return cosine_rows(rows(), size(), other.rows(), other.size(), dim_,
+  GNN4IP_ENSURE(dim() == other.dim(), "score_against: corpus dims differ");
+  return cosine_rows(rows(), size(), other.rows(), other.size(), dim(),
                      options_);
 }
 
@@ -189,6 +57,7 @@ tensor::Matrix PairwiseScorer::score_new_rows(std::size_t first_new) const {
   GNN4IP_ENSURE(first_new <= size(),
                 "score_new_rows: first_new past the corpus end");
   const std::size_t n = size();
+  const std::size_t d = dim();
   const std::size_t new_rows = n - first_new;
   tensor::Matrix result(new_rows, n);
   if (new_rows == 0) return result;
@@ -196,17 +65,13 @@ tensor::Matrix PairwiseScorer::score_new_rows(std::size_t first_new) const {
   // screening ΔN incoming designs really is O(ΔN·N·D). Norms and dot
   // products use the same accumulation order as cosine_rows, keeping the
   // rows bit-identical to the matching score_matrix() rows.
-  const std::vector<float> norms = row_norms(data_, n, dim_);
+  const std::vector<float> norms = row_norms(rows(), n, d);
+  const float* data = rows().data();
   for (std::size_t r = 0; r < new_rows; ++r) {
-    const float* ra = data_.data() + (first_new + r) * dim_;
+    const float* ra = data + (first_new + r) * d;
     const std::span<float> out = result.row(r);
     for (std::size_t j = 0; j < n; ++j) {
-      const float* rb = data_.data() + j * dim_;
-      float acc = 0.0F;
-      for (std::size_t k = 0; k < dim_; ++k) acc += ra[k] * rb[k];
-      const float denom =
-          std::max(norms[first_new + r] * norms[j], kNormFloor);
-      out[j] = std::clamp(acc / denom, -1.0F, 1.0F);
+      out[j] = cosine_cell(ra, data + j * d, d, norms[first_new + r] * norms[j]);
     }
   }
   return result;
@@ -215,14 +80,14 @@ tensor::Matrix PairwiseScorer::score_new_rows(std::size_t first_new) const {
 std::vector<PairScore> PairwiseScorer::top_k(std::size_t i,
                                              std::size_t k) const {
   GNN4IP_ENSURE(i < size(), "top_k: row index out of range");
-  GNN4IP_ENSURE(!dead_[i], "top_k: row has been removed");
+  GNN4IP_ENSURE(live(i), "top_k: row has been removed");
   // One row against the cache via the same per-cell arithmetic as
   // score() / cosine_rows, so retrieval agrees bit-for-bit with the
   // batch paths. Removed rows are not valid neighbours.
   std::vector<PairScore> neighbours;
-  neighbours.reserve(live_count_ > 0 ? live_count_ - 1 : 0);
+  neighbours.reserve(live_count() > 0 ? live_count() - 1 : 0);
   for (std::size_t j = 0; j < size(); ++j) {
-    if (j == i || dead_[j]) continue;
+    if (j == i || !live(j)) continue;
     neighbours.push_back({i, j, score(i, j)});
   }
   const std::size_t keep = std::min(k, neighbours.size());
@@ -242,12 +107,12 @@ std::vector<PairScore> PairwiseScorer::score_all_pairs() const {
   // cheap enough that halving it is not worth a second code path.
   const tensor::Matrix scores = score_matrix();
   std::vector<PairScore> pairs;
-  pairs.reserve(live_count_ * (live_count_ > 0 ? live_count_ - 1 : 0) / 2);
+  pairs.reserve(live_count() * (live_count() > 0 ? live_count() - 1 : 0) / 2);
   for (std::size_t i = 0; i < size(); ++i) {
-    if (dead_[i]) continue;
+    if (!live(i)) continue;
     const std::span<const float> row = scores.row(i);
     for (std::size_t j = i + 1; j < size(); ++j) {
-      if (dead_[j]) continue;
+      if (!live(j)) continue;
       pairs.push_back({i, j, row[j]});
     }
   }
@@ -258,28 +123,14 @@ std::vector<PairScore> PairwiseScorer::flag(float delta) const {
   std::vector<PairScore> pairs = score_all_pairs();
   std::erase_if(pairs,
                 [delta](const PairScore& p) { return p.similarity <= delta; });
-  std::sort(pairs.begin(), pairs.end(),
-            [](const PairScore& x, const PairScore& y) {
-              return x.similarity > y.similarity;
-            });
+  std::sort(pairs.begin(), pairs.end(), flag_order);
   return pairs;
 }
 
 float PairwiseScorer::score(std::size_t i, std::size_t j) const {
   GNN4IP_ENSURE(i < size() && j < size(),
                 "PairwiseScorer: pair index out of range");
-  const float* ri = data_.data() + i * dim_;
-  const float* rj = data_.data() + j * dim_;
-  float ab = 0.0F;
-  float aa = 0.0F;
-  float bb = 0.0F;
-  for (std::size_t k = 0; k < dim_; ++k) {
-    ab += ri[k] * rj[k];
-    aa += ri[k] * ri[k];
-    bb += rj[k] * rj[k];
-  }
-  const float denom = std::max(std::sqrt(aa) * std::sqrt(bb), kNormFloor);
-  return std::clamp(ab / denom, -1.0F, 1.0F);
+  return cosine_pair(row(i), row(j));
 }
 
 }  // namespace gnn4ip::core

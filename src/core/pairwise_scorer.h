@@ -1,21 +1,24 @@
-// Batched pairwise similarity engine — the corpus-scale hot path.
+// Single-shard pairwise similarity view — one EmbeddingStore plus the
+// cosine kernels, batched.
 //
 // GNN4IP's pair check (Alg. 1) is cosine(h_A, h_B); auditing a corpus of
 // N designs needs all N·(N−1)/2 pairs. The naive pattern re-runs the
 // whole embedding pipeline for both members of every pair, i.e. N−1
 // embeddings per design. PairwiseScorer instead embeds each design
-// exactly once into a cached N×D row matrix and scores every pair from
-// that cache with a blocked, multi-threaded cosine kernel — turning an
-// O(N²·embed) workload into O(N·embed + N²·D).
+// exactly once into a cached N×D row store (core::EmbeddingStore) and
+// scores every pair from that cache with the blocked, multi-threaded
+// cosine kernels of core/cosine_kernels.h — turning an O(N²·embed)
+// workload into O(N·embed + N²·D).
 //
 // Scores are bit-identical for any thread count: each output cell is
 // computed independently from the same cached rows, so the arithmetic
 // order inside a cell never depends on the schedule.
 //
-// A long-running corpus is kept bounded with the two-phase removal API:
-// remove(i) tombstones a row (cheap, batchable), compact() erases every
-// tombstoned row in one pass and reports the old→new index remapping.
-// audit::AuditService drives this from its eviction policy.
+// This is the single-shard reference path, kept for tests, benches, and
+// small hand-wired flows. Production screening layers a
+// core::ShardedCorpus (K stores, same kernels, same bits) under
+// audit::AuditService; this class must stay bit-identical to it for
+// num_shards == anything, which the sharding tests assert.
 //
 // Typical use:
 //   core::PairwiseScorer scorer;
@@ -24,61 +27,22 @@
 #pragma once
 
 #include <cstddef>
-#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "core/cosine_kernels.h"
+#include "core/embedding_store.h"
 #include "gnn/hw2vec.h"
 #include "tensor/matrix.h"
 #include "train/dataset.h"
 
 namespace gnn4ip::core {
 
-/// Scoring knobs shared by every layer that scores pairs: the blocked
-/// kernel, PairwiseScorer, and audit::AuditService all read this one
-/// struct instead of re-declaring thread/block/threshold fields.
-struct ScorerOptions {
-  /// Worker threads for the embedding fan-out and the blocked kernel.
-  /// 0 = the shared util::ThreadPool (GNN4IP_THREADS, else hardware
-  /// concurrency). Results are bit-identical for any value.
-  std::size_t num_threads = 0;
-  /// Rows per tile of the blocked kernel. Tiles are the unit of work
-  /// handed to threads; 64 rows of a 16-wide embedding fit comfortably
-  /// in L1 alongside the column tile.
-  std::size_t block_rows = 64;
-  /// Decision boundary δ (Alg. 1): a pair is piracy when Ŷ > delta.
-  float delta = 0.5F;
-};
-
-/// One scored unordered pair (indices into the scorer's corpus).
-struct PairScore {
-  std::size_t a = 0;
-  std::size_t b = 0;
-  float similarity = 0.0F;  // Ŷ ∈ [−1, 1]
-};
-
-/// Cosine similarity between every row of `a` and every row of `b`
-/// (result is a.rows() × b.rows()). The blocked kernel behind
-/// PairwiseScorer, exposed for reuse and benchmarking. Zero rows score 0.
-[[nodiscard]] tensor::Matrix cosine_rows(const tensor::Matrix& a,
-                                         const tensor::Matrix& b,
-                                         const ScorerOptions& options = {});
-
-/// Same kernel over raw row-major buffers (`a` is a_rows×dim, `b` is
-/// b_rows×dim) — lets PairwiseScorer score straight out of its resident
-/// cache without materializing an N×D Matrix copy per call.
-[[nodiscard]] tensor::Matrix cosine_rows(std::span<const float> a,
-                                         std::size_t a_rows,
-                                         std::span<const float> b,
-                                         std::size_t b_rows, std::size_t dim,
-                                         const ScorerOptions& options = {});
-
 class PairwiseScorer {
  public:
   /// "No such row": returned by compact() for removed rows.
-  static constexpr std::size_t kNoIndex =
-      std::numeric_limits<std::size_t>::max();
+  static constexpr std::size_t kNoIndex = EmbeddingStore::kNoIndex;
 
   explicit PairwiseScorer(const ScorerOptions& options = {});
 
@@ -92,41 +56,50 @@ class PairwiseScorer {
   /// a flat D-vector; D is fixed by the first add). Returns its index.
   std::size_t add(std::string name, const tensor::Matrix& embedding);
 
-  [[nodiscard]] std::size_t size() const { return names_.size(); }
-  [[nodiscard]] bool empty() const { return names_.empty(); }
-  [[nodiscard]] std::size_t dim() const { return dim_; }
-  [[nodiscard]] const std::string& name(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  [[nodiscard]] bool empty() const { return store_.empty(); }
+  [[nodiscard]] std::size_t dim() const { return store_.dim(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return store_.name(i);
+  }
   [[nodiscard]] const ScorerOptions& options() const { return options_; }
+
+  /// The resident row storage itself (shard-unit introspection).
+  [[nodiscard]] const EmbeddingStore& store() const { return store_; }
 
   /// Zero-copy view of row `i` of the resident cache (length dim()).
   /// Invalidated by add/compact, like a vector iterator.
-  [[nodiscard]] std::span<const float> row(std::size_t i) const;
+  [[nodiscard]] std::span<const float> row(std::size_t i) const {
+    return store_.row(i);
+  }
 
   /// Zero-copy view of the whole resident cache as a flat row-major
   /// size()×dim() buffer. Same invalidation rules as row().
-  [[nodiscard]] std::span<const float> rows() const { return data_; }
+  [[nodiscard]] std::span<const float> rows() const { return store_.rows(); }
 
   /// Tombstone row `i`: it keeps its index (and name(i)) but is skipped
   /// by top_k / score_all_pairs / flag, and erased by the next compact().
   /// The positional kernels (score_matrix, score_new_rows, score,
   /// score_against) still include tombstoned rows — compact() first when
   /// exact shapes matter.
-  void remove(std::size_t i);
+  void remove(std::size_t i) { store_.remove(i); }
 
   /// True while row `i` has not been removed.
-  [[nodiscard]] bool live(std::size_t i) const;
+  [[nodiscard]] bool live(std::size_t i) const { return store_.live(i); }
 
   /// Rows not yet removed.
-  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] std::size_t live_count() const { return store_.live_count(); }
 
   /// Erase every removed row in one pass. Returns the index remapping:
   /// result[old_index] is the row's new index, or kNoIndex if it was
   /// removed. No-op (identity mapping) when nothing is removed.
-  std::vector<std::size_t> compact();
+  std::vector<std::size_t> compact() { return store_.compact(); }
 
   /// The cached embeddings as an N×D row matrix (copy; prefer rows()/
   /// row() when a view suffices).
-  [[nodiscard]] tensor::Matrix embedding_matrix() const;
+  [[nodiscard]] tensor::Matrix embedding_matrix() const {
+    return store_.embedding_matrix();
+  }
 
   /// Full N×N symmetric cosine matrix.
   [[nodiscard]] tensor::Matrix score_matrix() const;
@@ -154,8 +127,9 @@ class PairwiseScorer {
   [[nodiscard]] std::vector<PairScore> score_all_pairs() const;
 
   /// Live pairs with similarity > delta (Alg. 1's decision boundary),
-  /// sorted by descending similarity. The overload without an argument
-  /// uses options().delta.
+  /// sorted by descending similarity with ascending (a, b) tie-break —
+  /// the fixed order every sharded path reproduces. The overload without
+  /// an argument uses options().delta.
   [[nodiscard]] std::vector<PairScore> flag(float delta) const;
   [[nodiscard]] std::vector<PairScore> flag() const {
     return flag(options_.delta);
@@ -166,11 +140,7 @@ class PairwiseScorer {
 
  private:
   ScorerOptions options_;
-  std::size_t dim_ = 0;
-  std::vector<std::string> names_;
-  std::vector<float> data_;  // row-major N×dim_
-  std::vector<bool> dead_;   // tombstones; erased by compact()
-  std::size_t live_count_ = 0;
+  EmbeddingStore store_;
 };
 
 }  // namespace gnn4ip::core

@@ -1,0 +1,258 @@
+#include "core/sharded_corpus.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/contract.h"
+#include "util/thread_pool.h"
+
+namespace gnn4ip::core {
+
+ShardedCorpus::ShardedCorpus(std::size_t num_shards,
+                             const ScorerOptions& options,
+                             std::size_t shard_budget)
+    : options_(options), shard_budget_(shard_budget) {
+  GNN4IP_ENSURE(num_shards > 0, "ShardedCorpus: need at least one shard");
+  shards_.resize(num_shards);
+  globals_.resize(num_shards);
+}
+
+std::size_t ShardedCorpus::placement(std::string_view name,
+                                     std::size_t num_shards) {
+  GNN4IP_ENSURE(num_shards > 0, "ShardedCorpus: need at least one shard");
+  // FNV-1a, 64-bit: stable across processes and platforms (std::hash is
+  // not), so a design's shard is a durable property of its name.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % num_shards);
+}
+
+std::size_t ShardedCorpus::add(std::string name,
+                               const tensor::Matrix& embedding) {
+  GNN4IP_ENSURE(!embedding.empty(), "ShardedCorpus: empty embedding");
+  if (dim_ == 0) {
+    dim_ = embedding.size();
+  } else {
+    GNN4IP_ENSURE(embedding.size() == dim_,
+                  "ShardedCorpus: embedding dim " +
+                      std::to_string(embedding.size()) + " != corpus dim " +
+                      std::to_string(dim_));
+  }
+  const std::size_t s = placement(name, shards_.size());
+  const std::size_t local = shards_[s].add(std::move(name), embedding);
+  const std::size_t global = entries_.size();
+  entries_.push_back({s, local});
+  globals_[s].push_back(global);
+  ++live_count_;
+  return global;
+}
+
+const std::string& ShardedCorpus::name(std::size_t i) const {
+  GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
+  return shards_[entries_[i].shard].name(entries_[i].local);
+}
+
+std::span<const float> ShardedCorpus::row(std::size_t i) const {
+  GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: row index out of range");
+  return shards_[entries_[i].shard].row(entries_[i].local);
+}
+
+void ShardedCorpus::remove(std::size_t i) {
+  GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: remove out of range");
+  shards_[entries_[i].shard].remove(entries_[i].local);
+  --live_count_;
+}
+
+bool ShardedCorpus::live(std::size_t i) const {
+  GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
+  return shards_[entries_[i].shard].live(entries_[i].local);
+}
+
+std::vector<std::size_t> ShardedCorpus::compact() {
+  // Compact each shard, then renumber the survivors densely in global
+  // insertion order — the numbering a single-shard compact() would have
+  // produced, so the mapping values never depend on the shard count.
+  std::vector<std::vector<std::size_t>> local_maps(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    local_maps[s] = shards_[s].compact();
+  }
+  std::vector<std::size_t> mapping(entries_.size(), kNoIndex);
+  std::vector<EntryRef> survivors;
+  survivors.reserve(live_count_);
+  for (std::size_t g = 0; g < entries_.size(); ++g) {
+    const EntryRef& e = entries_[g];
+    const std::size_t new_local = local_maps[e.shard][e.local];
+    if (new_local == kNoIndex) continue;
+    mapping[g] = survivors.size();
+    survivors.push_back({e.shard, new_local});
+  }
+  entries_ = std::move(survivors);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    globals_[s].assign(shards_[s].size(), kNoIndex);
+  }
+  for (std::size_t g = 0; g < entries_.size(); ++g) {
+    globals_[entries_[g].shard][entries_[g].local] = g;
+  }
+  live_count_ = entries_.size();
+  return mapping;
+}
+
+std::size_t ShardedCorpus::shard_of(std::size_t i) const {
+  GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
+  return entries_[i].shard;
+}
+
+std::size_t ShardedCorpus::shard_live_count(std::size_t s) const {
+  GNN4IP_ENSURE(s < shards_.size(), "ShardedCorpus: shard out of range");
+  return shards_[s].live_count();
+}
+
+const EmbeddingStore& ShardedCorpus::shard(std::size_t s) const {
+  GNN4IP_ENSURE(s < shards_.size(), "ShardedCorpus: shard out of range");
+  return shards_[s];
+}
+
+float ShardedCorpus::score(std::size_t i, std::size_t j) const {
+  GNN4IP_ENSURE(i < size() && j < size(),
+                "ShardedCorpus: pair index out of range");
+  return cosine_pair(row(i), row(j));
+}
+
+tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
+  GNN4IP_ENSURE(first_new <= size(),
+                "score_new_rows: first_new past the corpus end");
+  const std::size_t n = size();
+  const std::size_t new_rows = n - first_new;
+  tensor::Matrix result(new_rows, n);
+  if (new_rows == 0) return result;
+  // Query rows and norms resolve once on the coordinating thread (the
+  // per-global row() lookup is a bounds-checked double indirection —
+  // too heavy for the inner loop of the hot screening path); each shard
+  // task then fills only the columns of its own entries (tombstones
+  // included — this kernel is positional, like the single-shard one).
+  // Every cell is written exactly once from the same two rows and the
+  // same ascending-k arithmetic as PairwiseScorer::score_new_rows, so
+  // the matrix is bit-identical for any shard count × worker count.
+  std::vector<std::span<const float>> query_rows(new_rows);
+  std::vector<float> query_norms(new_rows);
+  for (std::size_t r = 0; r < new_rows; ++r) {
+    query_rows[r] = row(first_new + r);
+    query_norms[r] = row_norm(query_rows[r]);
+  }
+  const auto run_shard = [&](std::size_t s) {
+    const EmbeddingStore& store = shards_[s];
+    for (std::size_t local = 0; local < store.size(); ++local) {
+      const std::size_t g = globals_[s][local];
+      const float* rb = store.row(local).data();
+      const float norm_b = row_norm(store.row(local));
+      for (std::size_t r = 0; r < new_rows; ++r) {
+        result.row(r)[g] = cosine_cell(query_rows[r].data(), rb, dim_,
+                                       query_norms[r] * norm_b);
+      }
+    }
+  };
+  fan_out(shards_.size(), run_shard);
+  return result;
+}
+
+std::vector<PairScore> ShardedCorpus::top_k(std::size_t i,
+                                            std::size_t k) const {
+  GNN4IP_ENSURE(i < size(), "top_k: row index out of range");
+  GNN4IP_ENSURE(live(i), "top_k: row has been removed");
+  // Each shard scans its own live rows in parallel; the merge comparator
+  // (similarity desc, global index asc) is a total order over candidates
+  // with distinct global indices, so the merged prefix is the same no
+  // matter how candidates were bucketed.
+  const std::span<const float> query = row(i);
+  std::vector<std::vector<PairScore>> buckets(shards_.size());
+  const auto scan_shard = [&](std::size_t s) {
+    const EmbeddingStore& store = shards_[s];
+    for (std::size_t local = 0; local < store.size(); ++local) {
+      const std::size_t g = globals_[s][local];
+      if (g == i || !store.live(local)) continue;
+      buckets[s].push_back({i, g, cosine_pair(query, store.row(local))});
+    }
+  };
+  fan_out(shards_.size(), scan_shard);
+
+  std::vector<PairScore> neighbours;
+  neighbours.reserve(live_count_ > 0 ? live_count_ - 1 : 0);
+  for (std::vector<PairScore>& bucket : buckets) {
+    neighbours.insert(neighbours.end(), bucket.begin(), bucket.end());
+  }
+  const std::size_t keep = std::min(k, neighbours.size());
+  const auto closer = [](const PairScore& x, const PairScore& y) {
+    if (x.similarity != y.similarity) return x.similarity > y.similarity;
+    return x.b < y.b;
+  };
+  std::partial_sort(neighbours.begin(),
+                    neighbours.begin() + static_cast<std::ptrdiff_t>(keep),
+                    neighbours.end(), closer);
+  neighbours.resize(keep);
+  return neighbours;
+}
+
+std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
+  // Fan out over the first member of each pair; worker w writes only
+  // per_a[w], and the buckets concatenate in ascending-a order — the
+  // exact pair order of the single-shard path. Rows and norms resolve
+  // once up front (norms via the same ascending-k row_norm arithmetic
+  // the matrix kernel uses, so each cell stays bit-identical to
+  // PairwiseScorer::score_all_pairs) instead of three fused accumulators
+  // per pair recomputing every norm N−1 times.
+  std::vector<std::size_t> live_ids;
+  live_ids.reserve(live_count_);
+  for (std::size_t g = 0; g < entries_.size(); ++g) {
+    if (live(g)) live_ids.push_back(g);
+  }
+  std::vector<std::span<const float>> live_rows(live_ids.size());
+  std::vector<float> norms(live_ids.size());
+  for (std::size_t a = 0; a < live_ids.size(); ++a) {
+    live_rows[a] = row(live_ids[a]);
+    norms[a] = row_norm(live_rows[a]);
+  }
+  std::vector<std::vector<PairScore>> per_a(live_ids.size());
+  const auto score_row = [&](std::size_t a) {
+    per_a[a].reserve(live_ids.size() - a - 1);
+    const float* ra = live_rows[a].data();
+    for (std::size_t b = a + 1; b < live_ids.size(); ++b) {
+      per_a[a].push_back(
+          {live_ids[a], live_ids[b],
+           cosine_cell(ra, live_rows[b].data(), dim_, norms[a] * norms[b])});
+    }
+  };
+  fan_out(live_ids.size(), score_row);
+  std::vector<PairScore> pairs;
+  pairs.reserve(live_count_ * (live_count_ > 0 ? live_count_ - 1 : 0) / 2);
+  for (std::vector<PairScore>& bucket : per_a) {
+    pairs.insert(pairs.end(), bucket.begin(), bucket.end());
+  }
+  return pairs;
+}
+
+void ShardedCorpus::fan_out(
+    std::size_t count, const std::function<void(std::size_t)>& fn) const {
+  if (options_.num_threads > 1) {
+    if (!pool_) {
+      pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+    }
+    pool_->parallel_for(count, fn);
+    return;
+  }
+  // 0 = shared pool, 1 = inline — util::parallel_for already does the
+  // right (transient-pool-free) thing for both.
+  util::parallel_for(count, options_.num_threads, fn);
+}
+
+std::vector<PairScore> ShardedCorpus::flag(float delta) const {
+  std::vector<PairScore> pairs = score_all_pairs();
+  std::erase_if(pairs,
+                [delta](const PairScore& p) { return p.similarity <= delta; });
+  std::sort(pairs.begin(), pairs.end(), flag_order);
+  return pairs;
+}
+
+}  // namespace gnn4ip::core

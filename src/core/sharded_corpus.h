@@ -1,0 +1,155 @@
+// Sharded resident corpus: K EmbeddingStore shards behind one index.
+//
+// One contiguous N×D cache stops scaling long before the corpus does —
+// a single allocation, a single compaction pass, and a single consumer
+// own every row. ShardedCorpus splits the resident rows across K
+// EmbeddingStore shards by a deterministic hash of the design *name*
+// (FNV-1a — stable across runs, platforms, and shard-local history), so
+// placement never depends on arrival order, and per-shard work (scoring
+// columns, compaction, eviction budgets) can proceed independently.
+//
+// Callers never see shard-local indices. Every public index is a
+// *global* id assigned in insertion order, exactly like a single
+// PairwiseScorer: add() returns N, remove(i) tombstones, compact()
+// remaps to a dense 0..live−1 numbering in insertion order. Because the
+// global index space, the per-cell kernel arithmetic (cosine_kernels.h),
+// and the merge tie-breaks are all shard-count-independent,
+// score()/score_new_rows()/top_k()/flag() are bit-identical to the
+// single-shard PairwiseScorer path for any shard count × worker count —
+// the sharding test suite asserts this, and audit::AuditService relies
+// on it.
+//
+// score_new_rows and top_k fan the shards out over util::ThreadPool
+// (each shard's task writes only its own entries' cells), so screening
+// scales across cores without a determinism tax.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cosine_kernels.h"
+#include "core/embedding_store.h"
+#include "tensor/matrix.h"
+#include "util/thread_pool.h"
+
+namespace gnn4ip::core {
+
+class ShardedCorpus {
+ public:
+  /// "No such row": returned by compact() for removed rows.
+  static constexpr std::size_t kNoIndex = EmbeddingStore::kNoIndex;
+
+  /// `num_shards` stores (≥ 1). `shard_budget` is the per-shard live-row
+  /// budget eviction layers enforce (0 = unbounded); the corpus itself
+  /// only records and reports it — see audit::AuditService.
+  explicit ShardedCorpus(std::size_t num_shards = 1,
+                         const ScorerOptions& options = {},
+                         std::size_t shard_budget = 0);
+
+  /// Deterministic shard placement: FNV-1a of `name`, mod `num_shards`.
+  /// Pure function of the name, so the same design always lands in the
+  /// same shard regardless of arrival order or corpus history.
+  [[nodiscard]] static std::size_t placement(std::string_view name,
+                                             std::size_t num_shards);
+
+  /// Append one design's embedding. Returns its global index (insertion
+  /// order, dense after compact()).
+  std::size_t add(std::string name, const tensor::Matrix& embedding);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] const std::string& name(std::size_t i) const;
+  [[nodiscard]] const ScorerOptions& options() const { return options_; }
+
+  /// Zero-copy view of the row behind global index `i` (length dim()).
+  /// Invalidated by add/compact, like a vector iterator.
+  [[nodiscard]] std::span<const float> row(std::size_t i) const;
+
+  /// Tombstone global row `i` (skipped by top_k/flag, erased by the next
+  /// compact; still positionally included by score/score_new_rows).
+  void remove(std::size_t i);
+  [[nodiscard]] bool live(std::size_t i) const;
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+  /// Compact every shard and renumber the global index space densely in
+  /// insertion order. Returns result[old_global] = new_global or
+  /// kNoIndex — the same contract as PairwiseScorer::compact(), and the
+  /// same mapping values for any shard count.
+  std::vector<std::size_t> compact();
+
+  // ---- Shard introspection ----------------------------------------------
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::size_t i) const;
+  [[nodiscard]] std::size_t shard_live_count(std::size_t s) const;
+  [[nodiscard]] std::size_t shard_budget() const { return shard_budget_; }
+  [[nodiscard]] const EmbeddingStore& shard(std::size_t s) const;
+
+  // ---- Scoring (bit-identical to the single-shard PairwiseScorer) -------
+  /// Single pair of global rows (tombstoned rows still addressable).
+  [[nodiscard]] float score(std::size_t i, std::size_t j) const;
+
+  /// Cosine of every row with global index ≥ `first_new` against the
+  /// whole corpus, as an (N − first_new) × N matrix — the incremental
+  /// screening kernel. Shards fan out over the worker pool; each cell is
+  /// written by exactly one worker from the same two rows the
+  /// single-shard path reads, so the result is bit-identical to
+  /// PairwiseScorer::score_new_rows for any shard count × worker count.
+  [[nodiscard]] tensor::Matrix score_new_rows(std::size_t first_new) const;
+
+  /// The k live entries most similar to global row `i` (i itself and
+  /// removed rows excluded), descending similarity with ascending-index
+  /// tie-break. Per-shard candidate scans fan out over the pool; the
+  /// merge comparator is a total order (no two candidates share a global
+  /// index), so the merged result is independent of shard count, worker
+  /// count, and merge arrival order.
+  [[nodiscard]] std::vector<PairScore> top_k(std::size_t i,
+                                             std::size_t k) const;
+
+  /// All unordered pairs of live rows (ascending (a, b) global order).
+  [[nodiscard]] std::vector<PairScore> score_all_pairs() const;
+
+  /// Live pairs with similarity > delta, in flag_order (descending
+  /// similarity, ascending (a, b) tie-break) — bit-identical to
+  /// PairwiseScorer::flag. The overload without an argument uses
+  /// options().delta.
+  [[nodiscard]] std::vector<PairScore> flag(float delta) const;
+  [[nodiscard]] std::vector<PairScore> flag() const {
+    return flag(options_.delta);
+  }
+
+  /// Run fn(i) for i in [0, count) on this corpus's worker resolution:
+  /// an explicit num_threads > 1 uses one lazily-spawned owned pool
+  /// (screening is a hot loop — no transient pool spawn/join per call),
+  /// 0 the process-wide shared pool, 1 runs inline. Exposed so the
+  /// audit layer's batch fan-outs ride the same pool as the scoring
+  /// ones. Like every scoring call, consumer-thread-only (the lazy
+  /// spawn is unsynchronized).
+  void fan_out(std::size_t count,
+               const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  /// Where a global index lives: which shard, and which local row.
+  struct EntryRef {
+    std::size_t shard = 0;
+    std::size_t local = 0;
+  };
+
+  ScorerOptions options_;
+  std::size_t shard_budget_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t live_count_ = 0;
+  /// Owned workers for explicit num_threads > 1, spawned on first
+  /// fan_out (0 defers to ThreadPool::shared(), which needs no owner).
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<EmbeddingStore> shards_;
+  std::vector<EntryRef> entries_;  // global index -> (shard, local)
+  // Per shard: local index -> global index (rebuilt by compact()).
+  std::vector<std::vector<std::size_t>> globals_;
+};
+
+}  // namespace gnn4ip::core

@@ -6,12 +6,20 @@
 // pending, so a flood of submissions degrades into "caller must screen"
 // instead of unbounded memory growth. drain() hands the consumer the
 // whole pending batch in FIFO order with one lock acquisition.
+//
+// Shutdown is first-class for daemon consumers (audit::AsyncAuditor):
+// close() flips the queue into drain-on-close mode — every push after
+// close fails, while pop()/drain() keep handing out whatever was already
+// pending. A blocked pop() returns std::nullopt once the queue is both
+// closed and empty, which is the consumer thread's exit signal; nothing
+// enqueued before close() is ever lost.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -29,30 +37,54 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Enqueue unless the queue is full. Returns false (value untouched by
-  /// the queue, caller keeps it) when `capacity` items are pending.
+  /// Enqueue unless the queue is full or closed. Returns false (value
+  /// untouched by the queue, caller keeps it) when `capacity` items are
+  /// pending or close() has been called.
   [[nodiscard]] bool try_push(T&& value) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (items_.size() >= capacity_) return false;
+      if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
-    space_cv_.notify_one();
+    items_cv_.notify_one();
     return true;
   }
 
   /// Enqueue, blocking while the queue is full (classic bounded-buffer
   /// backpressure; requires a concurrent drainer to make progress).
-  void push(T value) {
+  /// Returns false — with `value` untouched, like try_push — when the
+  /// queue is (or becomes, while waiting) closed.
+  [[nodiscard]] bool push(T&& value) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(lock, [this] { return items_.size() < capacity_; });
+      space_cv_.wait(
+          lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
       items_.push_back(std::move(value));
     }
+    items_cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed; pop one
+  /// item in FIFO order. After close(), keeps draining the remaining
+  /// items and only then reports closed by returning std::nullopt — the
+  /// consumer's signal that no item will ever arrive again.
+  [[nodiscard]] std::optional<T> pop() {
+    std::optional<T> value;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;  // closed and fully drained
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     space_cv_.notify_one();
+    return value;
   }
 
   /// Pop everything currently pending, in FIFO order (possibly empty).
+  /// Never blocks; usable before and after close().
   [[nodiscard]] std::vector<T> drain() {
     std::vector<T> batch;
     {
@@ -65,6 +97,24 @@ class BoundedQueue {
     return batch;
   }
 
+  /// Stop accepting work: every subsequent (and currently blocked) push
+  /// fails, while pending items stay poppable. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    // Wake blocked producers (to fail) and blocked consumers (to drain
+    // the remainder and then observe closed).
+    space_cv_.notify_all();
+    items_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
   [[nodiscard]] std::size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
@@ -75,8 +125,10 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
-  std::condition_variable space_cv_;
+  std::condition_variable space_cv_;  // waited on by blocked producers
+  std::condition_variable items_cv_;  // waited on by blocked consumers
   std::deque<T> items_;
+  bool closed_ = false;
 };
 
 }  // namespace gnn4ip::util

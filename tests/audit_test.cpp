@@ -5,10 +5,14 @@
 // capacity bounds, evict-then-resubmit).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "audit/async_auditor.h"
 #include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "core/pairwise_scorer.h"
@@ -19,7 +23,7 @@
 namespace gnn4ip::audit {
 namespace {
 
-constexpr std::size_t kNoIndex = core::PairwiseScorer::kNoIndex;
+constexpr std::size_t kNoIndex = core::ShardedCorpus::kNoIndex;
 
 std::vector<data::CorpusItem> small_corpus_items() {
   data::RtlCorpusOptions options;
@@ -351,6 +355,173 @@ TEST(Pipeline, CompileBatchAlignsResultsWithSources) {
     EXPECT_TRUE(results[2].ok);
     EXPECT_FALSE(results[1].error.message.empty());
   }
+}
+
+TEST(AsyncAuditor, FuturesMatchSynchronousScreenBitForBit) {
+  // The daemon changes when screen() runs, never its arithmetic: the
+  // reports delivered through futures equal a synchronous service's,
+  // bit for bit, including with a sharded corpus underneath.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 6u);
+  const std::size_t library = 4;
+
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  // Screened submissions must not stay resident: the daemon batches
+  // adaptively, and a design kept from an earlier batch would add
+  // verdicts to later ones.
+  options.max_resident = library;
+  options.num_shards = 2;
+
+  AuditService sync(model, options);
+  for (std::size_t i = 0; i < library; ++i) {
+    ASSERT_TRUE(sync.add_library(entries[i]).accepted);
+  }
+  std::vector<ScreenReport> expected;
+  for (std::size_t i = library; i < entries.size(); ++i) {
+    ASSERT_TRUE(sync.submit(entries[i]));
+    for (ScreenReport& r : sync.screen()) expected.push_back(std::move(r));
+  }
+
+  AsyncAuditor auditor(model, options);
+  for (std::size_t i = 0; i < library; ++i) {
+    ASSERT_TRUE(auditor.service().add_library(entries[i]).accepted);
+  }
+  std::vector<std::future<ScreenReport>> futures;
+  for (std::size_t i = library; i < entries.size(); ++i) {
+    futures.push_back(auditor.submit(entries[i]));
+  }
+  ASSERT_EQ(futures.size(), expected.size());
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const ScreenReport got = futures[r].get();
+    const ScreenReport& want = expected[r];
+    EXPECT_EQ(got.submission.name, want.submission.name);
+    EXPECT_EQ(got.submission.accepted, want.submission.accepted);
+    ASSERT_EQ(got.verdicts.size(), want.verdicts.size());
+    for (std::size_t v = 0; v < want.verdicts.size(); ++v) {
+      EXPECT_EQ(got.verdicts[v].matched, want.verdicts[v].matched);
+      EXPECT_EQ(got.verdicts[v].similarity, want.verdicts[v].similarity);
+    }
+    ASSERT_EQ(got.best.has_value(), want.best.has_value());
+    if (want.best) {
+      EXPECT_EQ(got.best->matched, want.best->matched);
+      EXPECT_EQ(got.best->similarity, want.best->similarity);
+    }
+  }
+  auditor.quiesce();
+  EXPECT_EQ(auditor.reported(), futures.size());
+  EXPECT_GE(auditor.batches(), 1u);
+}
+
+TEST(AsyncAuditor, MalformedDesignResolvesItsFutureWithDiagnostic) {
+  gnn::Hw2Vec model;
+  const auto items = small_corpus_items();
+  AsyncAuditor auditor(model);
+  ASSERT_TRUE(
+      auditor.service().add_library(items[0].name, items[0].verilog)
+          .accepted);
+  std::future<ScreenReport> good =
+      auditor.submit("good", items[1].verilog);
+  std::future<ScreenReport> bad =
+      auditor.submit("broken", "module oops (input a, ;;;");
+  const ScreenReport good_report = good.get();
+  EXPECT_TRUE(good_report.submission.accepted);
+  const ScreenReport bad_report = bad.get();
+  EXPECT_FALSE(bad_report.submission.accepted);
+  EXPECT_FALSE(bad_report.submission.error.message.empty());
+  EXPECT_GT(bad_report.submission.error.location.line, 0);
+}
+
+TEST(AsyncAuditor, CallbackFiresOnConsumerThreadInScreeningOrder) {
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 4u);
+
+  std::vector<std::string> seen;  // consumer-thread only, read after quiesce
+  AsyncOptions async;
+  async.on_report = [&seen](const ScreenReport& report) {
+    seen.push_back(report.submission.name);
+  };
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  AsyncAuditor auditor(model, options, std::move(async));
+  std::vector<std::future<ScreenReport>> futures;
+  for (std::size_t i = 0; i < 4; ++i) {
+    futures.push_back(auditor.submit(entries[i]));
+  }
+  auditor.quiesce();
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seen[i], entries[i].name);  // FIFO screening order
+    EXPECT_EQ(futures[i].get().submission.name, entries[i].name);
+  }
+}
+
+TEST(AsyncAuditor, CloseDrainsBacklogAndFulfilsEveryFuture) {
+  // Submissions accepted before close() are screened, not dropped —
+  // drain-on-close end to end.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 6u);
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  AsyncAuditor auditor(model, options);
+  std::vector<std::future<ScreenReport>> futures;
+  for (std::size_t i = 0; i < 6; ++i) {
+    futures.push_back(auditor.submit(entries[i]));
+  }
+  auditor.close();
+  EXPECT_TRUE(auditor.closed());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const ScreenReport report = futures[i].get();  // never a broken promise
+    EXPECT_TRUE(report.submission.accepted) << report.submission.name;
+  }
+  EXPECT_EQ(auditor.reported(), futures.size());
+
+  // After close, a submission resolves immediately with a rejection.
+  std::future<ScreenReport> late = auditor.submit(entries[0]);
+  const ScreenReport rejected = late.get();
+  EXPECT_FALSE(rejected.submission.accepted);
+  EXPECT_NE(rejected.submission.error.message.find("closed"),
+            std::string::npos);
+}
+
+TEST(AsyncAuditor, ConcurrentProducersAllGetReports) {
+  // Several producer threads hammer submit() while the daemon screens
+  // continuously; every future resolves with the submission's own name.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 4u);
+  AuditOptions options;
+  options.scorer.delta = -2.0F;
+  options.max_resident = 1;  // constant churn through evict+compact
+  AsyncAuditor auditor(model, options);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kPerProducer = 8;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        const train::GraphEntry& entry = entries[(p + i) % 4];
+        const std::string name =
+            "p" + std::to_string(p) + "#" + std::to_string(i);
+        std::future<ScreenReport> future =
+            auditor.submit(name, entry.tensors);
+        const ScreenReport report = future.get();
+        if (report.submission.name != name || !report.submission.accepted) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  auditor.quiesce();
+  EXPECT_EQ(auditor.reported(), kProducers * kPerProducer);
+  EXPECT_EQ(auditor.submitted(), kProducers * kPerProducer);
 }
 
 TEST(LruEvictionPolicy, EvictsColdestEvictableEntry) {

@@ -33,6 +33,59 @@ std::vector<train::GraphEntry> small_corpus() {
   return make_graph_entries(data::build_rtl_corpus(options));
 }
 
+TEST(EmbeddingStore, AddNameRowAndDimAccounting) {
+  EmbeddingStore store;
+  EXPECT_TRUE(store.empty());
+  const tensor::Matrix a = tensor::Matrix::from_rows({{1, 2, 3}});
+  const tensor::Matrix b = tensor::Matrix::from_rows({{4, 5, 6}});
+  EXPECT_EQ(store.add("a", a), 0u);
+  EXPECT_EQ(store.add("b", b), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dim(), 3u);
+  EXPECT_EQ(store.name(0), "a");
+  EXPECT_EQ(store.name(1), "b");
+  EXPECT_EQ(store.row(1)[0], 4.0F);
+  EXPECT_EQ(store.rows().size(), 6u);
+  // Dim is fixed by the first add.
+  const tensor::Matrix wide = tensor::Matrix::from_rows({{1, 2, 3, 4}});
+  EXPECT_THROW((void)store.add("wide", wide), util::ContractViolation);
+}
+
+TEST(EmbeddingStore, RemoveCompactRemapsAndPreservesSurvivors) {
+  EmbeddingStore store;
+  (void)store.add("a", tensor::Matrix::from_rows({{1, 0}}));
+  (void)store.add("b", tensor::Matrix::from_rows({{2, 0}}));
+  (void)store.add("c", tensor::Matrix::from_rows({{3, 0}}));
+  store.remove(1);
+  EXPECT_FALSE(store.live(1));
+  EXPECT_EQ(store.live_count(), 2u);
+  EXPECT_THROW(store.remove(1), util::ContractViolation);  // already gone
+
+  const std::vector<std::size_t> mapping = store.compact();
+  ASSERT_EQ(mapping.size(), 3u);
+  EXPECT_EQ(mapping[0], 0u);
+  EXPECT_EQ(mapping[1], EmbeddingStore::kNoIndex);
+  EXPECT_EQ(mapping[2], 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.name(1), "c");
+  EXPECT_EQ(store.row(1)[0], 3.0F);
+  // Idempotent when nothing is tombstoned: identity mapping.
+  const std::vector<std::size_t> identity = store.compact();
+  EXPECT_EQ(identity, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(CosinePair, MatchesCosineRowsCellBitForBit) {
+  // The fused pair kernel and the precomputed-norm matrix kernel must
+  // agree exactly — the cross-layer determinism contract.
+  const tensor::Matrix m =
+      tensor::Matrix::from_rows({{0.3F, -1.7F, 2.2F}, {5.0F, 0.01F, -3.3F}});
+  const tensor::Matrix s = cosine_rows(m, m);
+  EXPECT_EQ(cosine_pair(m.row(0), m.row(1)), s.at(0, 1));
+  EXPECT_EQ(cosine_pair(m.row(0), m.row(0)), s.at(0, 0));
+  EXPECT_THROW((void)cosine_pair(m.row(0), m.row(0).subspan(1)),
+               util::ContractViolation);
+}
+
 TEST(CosineRows, MatchesHandComputedValues) {
   const tensor::Matrix a = tensor::Matrix::from_rows({{1, 0}, {1, 1}});
   const tensor::Matrix b =

@@ -4,10 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -328,13 +331,105 @@ TEST(BoundedQueue, DrainOnEmptyReturnsNothing) {
 
 TEST(BoundedQueue, BlockingPushResumesAfterDrain) {
   BoundedQueue<int> queue(1);
-  queue.push(1);
-  std::thread producer([&] { queue.push(2); });  // blocks until drain
+  EXPECT_TRUE(queue.push(1));
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks until drain
+  });
   std::vector<int> first = queue.drain();
   producer.join();
   std::vector<int> second = queue.drain();
   ASSERT_EQ(first.size() + second.size(), 2u);
   EXPECT_EQ(first[0], 1);
+}
+
+TEST(BoundedQueue, PushAfterCloseFailsAndValueSurvives) {
+  BoundedQueue<std::string> queue(4);
+  EXPECT_TRUE(queue.try_push("before"));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  std::string kept = "after";
+  EXPECT_FALSE(queue.try_push(std::move(kept)));
+  EXPECT_EQ(kept, "after");  // untouched on refusal
+  EXPECT_FALSE(queue.push(std::move(kept)));
+  EXPECT_EQ(kept, "after");
+  EXPECT_EQ(queue.size(), 1u);  // only the pre-close item is pending
+}
+
+TEST(BoundedQueue, PopDrainsRemainingThenReportsClosed) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_TRUE(queue.try_push(3));
+  queue.close();
+  // Drain-on-close: everything accepted before close() is still
+  // delivered, in FIFO order, and only then does pop() report closed.
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::optional<int>(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>(3));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // stays closed
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::optional<int> result = 42;
+  std::thread consumer([&] { result = queue.pop(); });  // blocks: empty
+  queue.close();
+  consumer.join();
+  EXPECT_EQ(result, std::nullopt);
+}
+
+TEST(BoundedQueue, CloseWakesBlockedProducer) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.push(1));  // queue now full
+  bool pushed = true;
+  std::thread producer([&] { pushed = queue.push(2); });  // blocks: full
+  queue.close();
+  producer.join();
+  EXPECT_FALSE(pushed);
+  // The pre-close item is still poppable after the failed push.
+  EXPECT_EQ(queue.pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, ConcurrentProducersRacingCloseLoseNothingAccepted) {
+  // Producers hammer try_push while the main thread closes mid-stream; a
+  // consumer drains with pop() until the queue reports closed. Every
+  // accepted push must come out exactly once — acceptance and delivery
+  // may race close(), but never tear. Producers retry on "full" but bail
+  // out on "closed", so the test terminates no matter how the close
+  // lands relative to their progress.
+  BoundedQueue<int> queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 1000;
+  std::atomic<int> accepted{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push(p * kPerProducer + i)) {
+          if (queue.closed()) return;  // lost the race: stop producing
+          std::this_thread::yield();   // full: wait for the consumer
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::atomic<int> delivered{0};
+  std::thread consumer([&queue, &delivered] {
+    while (queue.pop().has_value()) {
+      delivered.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // Let some traffic through, then slam the door while producers race.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();
+  for (std::thread& t : producers) t.join();
+  consumer.join();
+  EXPECT_EQ(delivered.load(), accepted.load());
+  EXPECT_TRUE(queue.empty());
+  // And the door stays shut.
+  EXPECT_FALSE(queue.try_push(-1));
 }
 
 TEST(BoundedQueue, ConcurrentProducersLoseNothing) {
