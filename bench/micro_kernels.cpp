@@ -377,6 +377,48 @@ void BM_AsyncSubmitDrain(benchmark::State& state) {
 }
 BENCHMARK(BM_AsyncSubmitDrain)->Unit(benchmark::kMillisecond);
 
+// Consumer-scaling curve: the same fixed submission stream as
+// BM_AsyncSubmitDrain, but screened by a pool of state.range(0)
+// consumers with single-submission chunks, so concurrent batches
+// actually overlap. Verdicts stay bit-identical for every Arg
+// (per-submission ticket-ordered commits); the axis shows what the
+// multi-consumer refactor buys on the parallel compile+embed phase and
+// what the commit turnstile costs.
+void BM_ConcurrentScreen(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  const std::size_t library = entries.size() - 8;
+  gnn::Hw2Vec model;
+  audit::AuditOptions options;
+  options.num_shards = 2;
+  options.max_resident = library;
+  audit::AsyncOptions async;
+  async.num_consumers = static_cast<std::size_t>(state.range(0));
+  async.max_batch = 1;  // one submission per chunk: consumers overlap
+  audit::AsyncAuditor auditor(model, options, std::move(async));
+  for (std::size_t i = 0; i < library; ++i) {
+    (void)auditor.service().add_library(entries[i]);
+  }
+  for (auto _ : state) {
+    std::vector<std::future<audit::ScreenReport>> futures;
+    futures.reserve(entries.size() - library);
+    for (std::size_t i = library; i < entries.size(); ++i) {
+      futures.push_back(auditor.submit(entries[i]));
+    }
+    std::size_t verdicts = 0;
+    for (std::future<audit::ScreenReport>& f : futures) {
+      verdicts += f.get().verdicts.size();
+    }
+    benchmark::DoNotOptimize(verdicts);
+  }
+  state.counters["resident"] = static_cast<double>(library);
+  state.counters["consumers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConcurrentScreen)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_BaselineWl(benchmark::State& state) {
   const graph::Digraph a = dfg::extract_dfg(medium_rtl());
   const graph::Digraph b =

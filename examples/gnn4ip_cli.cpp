@@ -7,7 +7,7 @@
 //                                                 Alg. 1 piracy check
 //   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
 //              [--delta <d>] [--top-k <k>] [--max-resident <n>]
-//              [--shards <k>] [--threads <n>] [--async]
+//              [--shards <k>] [--threads <n>] [--async] [--consumers <n>]
 //              <design.v> [<design2.v> ...]
 //                                                 screen designs against
 //                                                 a resident IP library
@@ -18,11 +18,12 @@
 // design gets a per-file diagnostic and never aborts the batch.
 //
 // --shards splits the resident corpus across k hash-placed shards and
-// --async screens through the audit::AsyncAuditor daemon thread; both
+// --async screens through the audit::AsyncAuditor consumer pool; both
 // are transparent to the output — verdicts are bit-identical to the
-// single-shard synchronous run. --threads pins the worker count; the
-// flag takes precedence over the GNN4IP_THREADS environment variable
-// (which only applies when no explicit count is set).
+// single-shard synchronous run. --threads pins the scorer worker count
+// and --consumers (implies --async) the screening-consumer count; each
+// flag takes precedence over its environment knob (GNN4IP_THREADS /
+// GNN4IP_CONSUMERS, which only apply when no explicit count is set).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -65,8 +66,11 @@ int usage() {
       "  gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus ...]\n"
       "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
       "             [--shards <k>] [--threads <n>] [--async]\n"
+      "             [--consumers <n>]\n"
       "             <design.v> [...]\n"
-      "  (--threads overrides the GNN4IP_THREADS environment variable)\n");
+      "  (--threads / --consumers override the GNN4IP_THREADS /\n"
+      "   GNN4IP_CONSUMERS environment variables; --consumers implies\n"
+      "   --async)\n");
   return 2;
 }
 
@@ -157,6 +161,7 @@ int cmd_audit(const std::vector<std::string>& args) {
   std::vector<std::string> corpus_files;
   std::vector<std::string> incoming_files;
   audit::AuditOptions options;
+  audit::AsyncOptions async_options;
   std::size_t top_k = 0;
   bool use_async = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -197,6 +202,18 @@ int cmd_audit(const std::vector<std::string>& args) {
       options.scorer.num_threads = static_cast<std::size_t>(threads);
     } else if (arg == "--async") {
       use_async = true;
+    } else if (arg == "--consumers") {
+      // Explicit consumer-pool size: takes precedence over
+      // GNN4IP_CONSUMERS (the env knob only resolves when
+      // num_consumers stays 0). Implies --async — a consumer pool
+      // only exists on the async front end.
+      const long consumers = std::strtol(next_value().c_str(), nullptr, 10);
+      if (consumers <= 0) {
+        std::fprintf(stderr, "error: --consumers needs a positive count\n");
+        return 2;
+      }
+      async_options.num_consumers = static_cast<std::size_t>(consumers);
+      use_async = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return 2;
@@ -212,7 +229,8 @@ int cmd_audit(const std::vector<std::string>& args) {
   std::unique_ptr<audit::AsyncAuditor> auditor;
   std::unique_ptr<audit::AuditService> owned_service;
   if (use_async) {
-    auditor = audit::AsyncAuditor::from_model_file(model_path, options);
+    auditor = audit::AsyncAuditor::from_model_file(model_path, options,
+                                                   async_options);
   } else {
     owned_service = std::make_unique<audit::AuditService>(
         gnn::load_model_file(model_path), options);
@@ -283,8 +301,10 @@ int cmd_audit(const std::vector<std::string>& args) {
       reports.push_back(f.get());
     }
     report_batch(reports);
-    std::fprintf(stderr, "async: %zu submission(s) in %zu batch(es)\n",
-                 auditor->reported(), auditor->batches());
+    std::fprintf(stderr,
+                 "async: %zu submission(s) in %zu batch(es), %zu consumer(s)\n",
+                 auditor->reported(), auditor->batches(),
+                 auditor->consumers());
   } else {
     for (const std::string& path : incoming_files) {
       if (!service.submit(path, read_file(path))) {

@@ -12,12 +12,17 @@
 // screen, verdicts.
 //
 // Part two replays the same portfolio through the production front end:
-// a two-shard resident corpus behind audit::AsyncAuditor, whose daemon
-// thread screens continuously while producers keep submitting — the
-// verdicts come back through futures, bit-identical to part one's.
+// a two-shard resident corpus behind audit::AsyncAuditor's consumer
+// pool, which screens continuously while producers keep submitting —
+// the verdicts come back through futures, bit-identical to part one's.
+// Part three turns the volume up: several producer threads race the
+// pool with eviction live, the shape a vendor's intake queue actually
+// has.
 #include <cstdio>
 #include <future>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -94,21 +99,18 @@ int main() {
 
   // ---- Part two: the same audit as a daemon -----------------------------
   // Production shape: the resident corpus is split across two hash-placed
-  // shards, and an AsyncAuditor consumer thread drains the submission
-  // queue continuously — producers get a future per design and never wait
-  // for a batch boundary. Shard count and async delivery change only
-  // where the work runs: the similarities below match part one's exactly.
-  std::printf("\n--- async daemon, 2-shard corpus ---\n");
-  audit::AuditOptions async_options = options;
+  // shards, and a pool of AsyncAuditor consumer threads drains the
+  // submission queue continuously — producers get a future per design
+  // and never wait for a batch boundary. Every submission commits
+  // individually in ticket (submission) order, so however the pool
+  // happens to batch, the verdicts match part one's bit for bit — with
+  // the same real eviction budget as part one, no cache pinning needed.
+  std::printf("\n--- async daemon, 2-shard corpus, 2 consumers ---\n");
+  audit::AuditOptions async_options = options;  // same max_resident = 5
   async_options.num_shards = 2;
-  // The daemon batches adaptively, so screened submissions must not stay
-  // resident (a design in an earlier batch would otherwise add verdicts
-  // to later ones). Bounding the cache at the pinned-library size makes
-  // every design score against exactly the three library entries, no
-  // matter how the daemon happened to batch — which is what makes the
-  // similarities below reproducible run-to-run and equal to part one's.
-  async_options.max_resident = 3;
-  audit::AsyncAuditor auditor(detector.model(), async_options);
+  audit::AsyncOptions pool;
+  pool.num_consumers = 2;
+  audit::AsyncAuditor auditor(detector.model(), async_options, pool);
   (void)auditor.service().add_library("lib:crc8", data::gen_crc8({0, 7001}));
   (void)auditor.service().add_library("lib:uart_tx",
                                       data::gen_uart_tx({0, 7002}));
@@ -144,8 +146,57 @@ int main() {
   }
   auditor.close();
   std::printf("daemon screened %zu submission(s) in %zu batch(es), "
-              "%zu shard(s)\n",
+              "%zu shard(s), %zu consumer(s)\n",
               auditor.reported(), auditor.batches(),
-              auditor.service().corpus().num_shards());
+              auditor.service().corpus().num_shards(), auditor.consumers());
+
+  // ---- Part three: concurrent intake under eviction pressure ------------
+  // The shape a real intake queue has: several producer threads race
+  // each other into the bounded queue while the consumer pool screens
+  // and the LRU budget evicts continuously. Interleaving changes which
+  // screened designs are co-resident when a given submission commits
+  // (so per-run verdict sets differ here, unlike parts one and two
+  // where a single producer fixes the ticket order) — but every future
+  // resolves, pinned library rows survive every eviction, and the
+  // resident bound holds.
+  std::printf("\n--- concurrent intake: 3 producers x 2 consumers ---\n");
+  audit::AsyncAuditor intake(detector.model(), async_options, pool);
+  (void)intake.service().add_library("lib:crc8", data::gen_crc8({0, 7001}));
+  (void)intake.service().add_library("lib:uart_tx",
+                                     data::gen_uart_tx({0, 7002}));
+  (void)intake.service().add_library("lib:fifo_ctrl",
+                                     data::gen_fifo_ctrl({0, 7003}));
+
+  std::mutex results_mu;
+  std::vector<std::future<audit::ScreenReport>> intake_futures;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&, p] {
+      for (int k = 0; k < 4; ++k) {
+        const unsigned seed = 8000u + static_cast<unsigned>(p * 4 + k);
+        const std::string name =
+            "in:p" + std::to_string(p) + "#" + std::to_string(k);
+        std::future<audit::ScreenReport> f =
+            (k % 2 == 0) ? intake.submit(name, data::gen_pwm({0, seed}))
+                         : intake.submit(name, data::gen_crc8({0, seed}));
+        std::lock_guard<std::mutex> lock(results_mu);
+        intake_futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  intake.quiesce();
+
+  std::size_t piracy_hits = 0;
+  for (std::future<audit::ScreenReport>& future : intake_futures) {
+    const audit::ScreenReport report = future.get();
+    if (report.submission.accepted && !report.verdicts.empty()) ++piracy_hits;
+  }
+  intake.close();
+  std::printf("screened %zu racing submission(s); %zu flagged; resident "
+              "%zu (bound %zu), library still pinned: %s\n",
+              intake.reported(), piracy_hits, intake.service().resident(),
+              async_options.max_resident,
+              intake.service().contains("lib:crc8") ? "yes" : "NO");
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "audit/async_auditor.h"
 
+#include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <utility>
@@ -9,13 +11,37 @@
 
 namespace gnn4ip::audit {
 
+namespace {
+
+/// Resolve num_consumers = 0: GNN4IP_CONSUMERS if set to a positive
+/// integer, else one consumer (the pre-pool behaviour).
+std::size_t default_consumer_count() {
+  if (const char* env = std::getenv("GNN4IP_CONSUMERS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
 AsyncAuditor::AsyncAuditor(gnn::Hw2Vec model, const AuditOptions& options,
                            AsyncOptions async,
                            std::unique_ptr<EvictionPolicy> policy)
     : service_(std::move(model), options, std::move(policy)),
       async_(std::move(async)),
-      queue_(async_.queue_capacity),
-      consumer_([this] { consume(); }) {}
+      queue_(async_.queue_capacity) {
+  const std::size_t pool_size = async_.num_consumers > 0
+                                    ? async_.num_consumers
+                                    : default_consumer_count();
+  consumers_.reserve(pool_size);
+  for (std::size_t c = 0; c < pool_size; ++c) {
+    consumers_.emplace_back([this] { consume(); });
+  }
+}
 
 std::unique_ptr<AsyncAuditor> AsyncAuditor::from_model_file(
     const std::string& path, const AuditOptions& options, AsyncOptions async,
@@ -49,7 +75,7 @@ std::future<ScreenReport> AsyncAuditor::submit(const train::GraphEntry& entry) {
 
 std::future<ScreenReport> AsyncAuditor::enqueue(Job job) {
   std::future<ScreenReport> future = job.promise.get_future();
-  // Count the submission as outstanding *before* pushing: the daemon may
+  // Count the submission as outstanding *before* pushing: a consumer may
   // pop and report it before this thread runs again, and quiesce() must
   // never observe reported_ > submitted_.
   {
@@ -76,80 +102,81 @@ std::future<ScreenReport> AsyncAuditor::enqueue(Job job) {
 }
 
 void AsyncAuditor::consume() {
-  // One blocking pop fetches the batch seed; everything that accumulated
-  // behind it (while the previous batch was screening) rides along via
-  // the non-blocking drain. pop() returns nullopt only once the queue is
-  // closed *and* empty — drain-on-close, so no accepted submission is
-  // ever dropped.
-  while (std::optional<Job> first = queue_.pop()) {
-    std::vector<Job> batch;
-    batch.push_back(std::move(*first));
-    for (Job& job : queue_.drain()) batch.push_back(std::move(job));
-    process_batch(std::move(batch));
+  const std::size_t chunk_cap = async_.max_batch > 0
+                                    ? async_.max_batch
+                                    : service_.options().queue_capacity;
+  for (;;) {
+    std::vector<Job> chunk;
+    std::size_t first_ticket = 0;
+    {
+      // One hand-off at a time: blocking-pop the chunk seed, ride the
+      // backlog along via try_pop, and reserve the chunk's tickets —
+      // all under one lock, so ticket order equals dequeue order. A
+      // sibling consumer waits here (instead of inside pop()) while
+      // this one assembles its chunk; it proceeds the moment the
+      // hand-off lock drops, concurrently with this chunk's screening.
+      std::lock_guard<std::mutex> handoff(handoff_mu_);
+      std::optional<Job> seed = queue_.pop();
+      if (!seed) break;  // closed and fully drained: pool exit signal
+      chunk.push_back(std::move(*seed));
+      while (chunk.size() < chunk_cap) {
+        std::optional<Job> next = queue_.try_pop();
+        if (!next) break;
+        chunk.push_back(std::move(*next));
+      }
+      first_ticket = service_.reserve_tickets(chunk.size());
+    }
+    process_batch(std::move(chunk), first_ticket);
   }
 }
 
-void AsyncAuditor::process_batch(std::vector<Job> batch) {
-  // The daemon is the service's only producer and screen() fully drains,
-  // so the service queue is empty at every chunk start: capping chunks
-  // at its capacity guarantees submit() below accepts — which matters,
-  // because submit() consumes the job's payload (moved into the service
-  // queue item), so a refused submission can never be retried.
-  const std::size_t chunk_cap = service_.options().queue_capacity;
-  std::size_t done = 0;
-  while (done < batch.size()) {
-    std::size_t count = 0;
-    bool refused = false;
-    while (done + count < batch.size() && count < chunk_cap) {
-      Job& job = batch[done + count];
-      const bool queued =
-          job.from_source ? service_.submit(job.name, std::move(job.source))
-                          : service_.submit(job.name, std::move(job.tensors));
-      if (!queued) {
-        // Only possible when a foreign producer feeds the owned service
-        // queue directly, violating the threading contract; handled
-        // after the chunk screens, since this job's payload is gone.
-        refused = true;
-        break;
-      }
-      ++count;
-    }
-    std::vector<ScreenReport> reports;
-    try {
-      reports = service_.screen();
-    } catch (...) {
-      // Library-bug path (e.g. ContractViolation): fail this chunk's
-      // futures instead of hanging them, and keep the daemon serving.
-      const std::exception_ptr error = std::current_exception();
-      for (std::size_t i = 0; i < count; ++i) {
-        batch[done + i].promise.set_exception(error);
-      }
-      reports.clear();
-    }
-    // reports.size() == count in every legal schedule; the bound guards
-    // against a foreign producer's items inflating the screen() batch.
-    for (std::size_t i = 0; i < count && i < reports.size(); ++i) {
-      if (async_.on_report) async_.on_report(reports[i]);
-      batch[done + i].promise.set_value(std::move(reports[i]));
-    }
-    done += count;
-    std::size_t delivered = count;
-    if (refused) {
-      // Reject the refused job's future rather than screen a moved-from
-      // payload as if it were the design.
-      Job& job = batch[done];
-      ScreenReport report;
-      report.submission.name = std::move(job.name);
-      report.submission.error.message =
-          "AsyncAuditor: audit-service queue refused the submission "
-          "(foreign producer on the owned service?)";
-      job.promise.set_value(std::move(report));
-      ++done;
-      ++delivered;
+void AsyncAuditor::process_batch(std::vector<Job> batch,
+                                 std::size_t first_ticket) {
+  std::vector<AuditItem> items;
+  items.reserve(batch.size());
+  for (Job& job : batch) {
+    AuditItem item;
+    item.name = std::move(job.name);
+    item.source = std::move(job.source);
+    item.tensors = std::move(job.tensors);
+    item.from_source = job.from_source;
+    items.push_back(std::move(item));
+  }
+  // Count commits as they happen so the exception path below knows
+  // exactly which futures are still unresolved.
+  std::size_t delivered = 0;
+  try {
+    service_.screen_batch(
+        std::move(items), first_ticket,
+        [&](std::size_t i, ScreenReport&& report) {
+          // Inside the commit turnstile: serialized across consumers,
+          // global ticket order — the on_report contract. The callback
+          // sees the report before the future resolves.
+          if (async_.on_report) async_.on_report(report);
+          batch[i].promise.set_value(std::move(report));
+          delivered = i + 1;
+          {
+            // The chunk counts as a batch at its *last* commit, under
+            // the same lock as the report count: a quiesce() woken by
+            // the final report must already see the batch tallied.
+            std::lock_guard<std::mutex> lock(progress_mu_);
+            ++reported_;
+            if (delivered == batch.size()) ++batches_;
+          }
+          progress_cv_.notify_all();
+        });
+  } catch (...) {
+    // Library-bug path (e.g. ContractViolation): fail this chunk's
+    // unresolved futures instead of hanging them, and keep the consumer
+    // serving. screen_batch has already advanced the chunk's remaining
+    // tickets, so the turnstile keeps moving for the siblings.
+    const std::exception_ptr error = std::current_exception();
+    for (std::size_t i = delivered; i < batch.size(); ++i) {
+      batch[i].promise.set_exception(error);
     }
     {
       std::lock_guard<std::mutex> lock(progress_mu_);
-      reported_ += delivered;
+      reported_ += batch.size() - delivered;
       ++batches_;
     }
     progress_cv_.notify_all();
@@ -165,7 +192,9 @@ void AsyncAuditor::close() {
   queue_.close();  // push fails from here on; pending items stay poppable
   std::lock_guard<std::mutex> lock(close_mu_);
   if (joined_) return;
-  consumer_.join();  // consume() drains the backlog, then exits
+  for (std::thread& consumer : consumers_) {
+    consumer.join();  // each consumer drains its share, then exits
+  }
   joined_ = true;
 }
 

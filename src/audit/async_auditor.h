@@ -1,11 +1,12 @@
 // audit::AsyncAuditor — daemon front end over AuditService.
 //
 // AuditService is batch-synchronous: producers enqueue, then *someone*
-// must call screen() on the consumer thread, and everyone waits on that
+// must call screen() on a consumer thread, and everyone waits on that
 // batch boundary. AsyncAuditor removes the boundary. It owns the service
-// and one daemon consumer thread that drains the submission queue
-// continuously: whatever has accumulated while the previous batch was
-// screening becomes the next batch, so producers only ever block on
+// and a pool of `num_consumers` daemon threads that drain the submission
+// queue continuously: one consumer blocks for a batch seed, takes
+// whatever accumulated behind it as its chunk, and screens it while its
+// siblings pick up the next chunk — so producers only ever block on
 // queue *capacity* (bounded-buffer backpressure), never on a batch
 // boundary, and latency degrades gracefully into larger batches under
 // load instead of stalling submitters.
@@ -14,28 +15,42 @@
 //   auditor.service().add_library("crc8", crc8_verilog);   // before submits
 //   std::future<ScreenReport> r = auditor.submit("in#1", verilog);
 //   ...                                   // producer keeps going; the
-//   use(r.get());                         // daemon screens in the back
+//   use(r.get());                         // daemons screen in the back
 //
 // Results are delivered twice over: every submit() returns a
-// std::future<ScreenReport>, and an optional on_report callback fires on
-// the consumer thread in screening order. Verdicts are the service's —
-// bit-identical to the synchronous path for any shard count × worker
-// count, since the daemon changes *when* screen() runs, never its
-// arithmetic.
+// std::future<ScreenReport>, and an optional on_report callback fires
+// for every report. The callback is *serialized* — invocations are
+// mutually exclusive across all consumers and arrive in global
+// admission-ticket order (it fires inside the service's commit
+// turnstile), so callers need no locking of their own.
+//
+// Verdict sets are consumer-count-invariant: chunks go through
+// AuditService::screen_batch, whose per-submission ticket-ordered
+// commits make any interleaving of K consumers produce bit-identical
+// verdicts (and post-quiesce top_k) to a sequential single-consumer
+// run. Consumers parallelize the expensive compile + featurize + embed
+// phase; commits serialize through the turnstile.
+//
+// Ticket discipline: one hand-off lock serializes {pop a chunk from the
+// queue, reserve its tickets}, so ticket order always equals dequeue
+// order — a consumer can never wait on a ticket held by a job that is
+// still behind it in the queue.
 //
 // Shutdown is drain-on-close (util::BoundedQueue::close): close() stops
-// accepting work, the daemon screens everything already accepted, every
-// outstanding future is fulfilled, and the thread joins. The destructor
-// closes implicitly. Submissions that lose the race with close() get a
-// rejected ScreenReport (a Diagnostic, not a broken promise).
+// accepting work, the consumers screen everything already accepted,
+// every outstanding future is fulfilled, and all threads join. The
+// destructor closes implicitly. Submissions that lose the race with
+// close() get a rejected ScreenReport (a Diagnostic, not a broken
+// promise).
 //
 // Threading contract: submit()/close()/quiesce() are safe from any
 // producer thread — but NOT from the on_report callback, which runs on
-// the consumer thread itself: close() there would self-join and
-// quiesce() there would wait on a report count that only advances after
-// the callback returns. service() is the consumer-side view — configure
-// the library before the first submit(), or call quiesce() first;
-// touching it while the daemon is mid-batch is a race.
+// a consumer thread: close() there would self-join and quiesce() there
+// would wait on a report count that only advances after the callback
+// returns. service() reads that are documented lock-protected
+// (top_k/contains/index_of/resident) are safe while the daemons run;
+// add_library is too (it takes its own admission ticket). Anything
+// else — use before the first submit(), or after quiesce()/close().
 #pragma once
 
 #include <condition_variable>
@@ -45,6 +60,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "audit/audit_service.h"
 
@@ -52,18 +68,25 @@ namespace gnn4ip::audit {
 
 struct AsyncOptions {
   /// Capacity of the daemon's submission queue. Producers block (bounded
-  /// backpressure) once this many submissions await the consumer.
+  /// backpressure) once this many submissions await the consumers.
   std::size_t queue_capacity = 256;
-  /// Optional push delivery: invoked on the consumer thread for every
-  /// report, in screening order, before the matching future resolves.
-  /// Must not call back into close()/quiesce() (see the threading
-  /// contract above).
+  /// Screening consumer threads. 0 = the GNN4IP_CONSUMERS environment
+  /// variable, else 1. Verdict sets are bit-identical for any value.
+  std::size_t num_consumers = 0;
+  /// Largest chunk one consumer takes in a single hand-off (0 = the
+  /// service's queue_capacity). Smaller chunks spread a backlog across
+  /// more consumers; larger chunks amortize per-batch overhead.
+  std::size_t max_batch = 0;
+  /// Optional push delivery: invoked for every report, serialized
+  /// across consumers in global ticket order, before the matching
+  /// future resolves. Must not call back into close()/quiesce() (see
+  /// the threading contract above).
   std::function<void(const ScreenReport&)> on_report;
 };
 
 class AsyncAuditor {
  public:
-  /// Takes ownership of the model and stands the daemon up immediately.
+  /// Takes ownership of the model and stands the daemons up immediately.
   explicit AsyncAuditor(gnn::Hw2Vec model, const AuditOptions& options = {},
                         AsyncOptions async = {},
                         std::unique_ptr<EvictionPolicy> policy = nullptr);
@@ -80,10 +103,11 @@ class AsyncAuditor {
   /// close() + join.
   ~AsyncAuditor();
 
-  /// Enqueue a design for the daemon; the future resolves once its batch
-  /// has been screened. Blocks only while the submission queue is at
-  /// capacity. After close(), resolves immediately with a rejected
-  /// report ("auditor closed") instead of ever losing a design silently.
+  /// Enqueue a design for the consumers; the future resolves once the
+  /// submission has committed. Blocks only while the submission queue
+  /// is at capacity. After close(), resolves immediately with a
+  /// rejected report ("auditor closed") instead of ever losing a design
+  /// silently.
   [[nodiscard]] std::future<ScreenReport> submit(std::string name,
                                                 std::string verilog_source);
   [[nodiscard]] std::future<ScreenReport> submit(std::string name,
@@ -92,11 +116,12 @@ class AsyncAuditor {
       const train::GraphEntry& entry);
 
   /// Block until every submission accepted so far has been screened and
-  /// its future fulfilled. A safe point for touching service().
+  /// its future fulfilled — across the whole consumer pool. A safe
+  /// point for touching service().
   void quiesce();
 
   /// Stop accepting submissions, screen the backlog, fulfil every
-  /// outstanding future, and join the daemon. Idempotent.
+  /// outstanding future, and join every consumer. Idempotent.
   void close();
 
   [[nodiscard]] bool closed() const { return queue_.closed(); }
@@ -104,12 +129,14 @@ class AsyncAuditor {
   /// Submissions accepted / reports delivered since construction.
   [[nodiscard]] std::size_t submitted() const;
   [[nodiscard]] std::size_t reported() const;
-  /// Batches the daemon has screened (shows the adaptive batching: slow
-  /// screens ⇒ fewer, larger batches).
+  /// Chunks the pool has screened (shows the adaptive batching: slow
+  /// screens ⇒ fewer, larger chunks).
   [[nodiscard]] std::size_t batches() const;
+  /// Consumer threads in the pool.
+  [[nodiscard]] std::size_t consumers() const { return consumers_.size(); }
 
-  /// The owned service. Consumer-side: use before the first submit() or
-  /// after quiesce()/close().
+  /// The owned service. See the threading contract above for which
+  /// members are safe while the daemons run.
   [[nodiscard]] AuditService& service() { return service_; }
   [[nodiscard]] const AuditService& service() const { return service_; }
 
@@ -123,12 +150,16 @@ class AsyncAuditor {
   };
 
   [[nodiscard]] std::future<ScreenReport> enqueue(Job job);
-  void consume();                          // daemon thread body
-  void process_batch(std::vector<Job> batch);
+  void consume();  // consumer thread body (one per pool member)
+  void process_batch(std::vector<Job> batch, std::size_t first_ticket);
 
   AuditService service_;
   AsyncOptions async_;
   util::BoundedQueue<Job> queue_;
+
+  /// Serializes {pop chunk, reserve tickets}: ticket order == dequeue
+  /// order, the invariant the commit turnstile depends on.
+  std::mutex handoff_mu_;
 
   mutable std::mutex progress_mu_;
   std::condition_variable progress_cv_;
@@ -138,7 +169,8 @@ class AsyncAuditor {
 
   std::mutex close_mu_;  // serializes close(); joined_ guarded by it
   bool joined_ = false;
-  std::thread consumer_;  // last member: started after everything above
+  /// Consumer pool — last member: started after everything above.
+  std::vector<std::thread> consumers_;
 };
 
 }  // namespace gnn4ip::audit

@@ -10,6 +10,26 @@
 
 namespace gnn4ip::audit {
 
+namespace {
+
+/// Chase one report's indices through a compaction mapping (evicted
+/// entries read kNoIndex, exactly the pre-refactor batch contract).
+void remap_report(ScreenReport& report,
+                  const std::vector<std::size_t>& mapping) {
+  constexpr std::size_t kNone = core::ShardedCorpus::kNoIndex;
+  if (report.submission.corpus_index != kNone) {
+    report.submission.corpus_index = mapping[report.submission.corpus_index];
+  }
+  for (Verdict& v : report.verdicts) {
+    if (v.corpus_index != kNone) v.corpus_index = mapping[v.corpus_index];
+  }
+  if (report.best && report.best->corpus_index != kNone) {
+    report.best->corpus_index = mapping[report.best->corpus_index];
+  }
+}
+
+}  // namespace
+
 AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
                            std::unique_ptr<EvictionPolicy> policy)
     : options_(options),
@@ -24,6 +44,26 @@ AuditService AuditService::from_model_file(
     const std::string& path, const AuditOptions& options,
     std::unique_ptr<EvictionPolicy> policy) {
   return AuditService(gnn::load_model_file(path), options, std::move(policy));
+}
+
+std::size_t AuditService::reserve_tickets(std::size_t n) {
+  std::lock_guard<std::mutex> lock(commit_mu_);
+  const std::size_t first = tickets_issued_;
+  tickets_issued_ += n;
+  return first;
+}
+
+void AuditService::commit_begin(std::size_t ticket) {
+  std::unique_lock<std::mutex> lock(commit_mu_);
+  commit_cv_.wait(lock, [&] { return next_commit_ == ticket; });
+}
+
+void AuditService::commit_end() {
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    ++next_commit_;
+  }
+  commit_cv_.notify_all();
 }
 
 std::size_t AuditService::admit(const std::string& name,
@@ -105,11 +145,23 @@ Submission AuditService::add_library(std::string name,
   s.name = std::move(name);
   tensor::Tape tape;
   const tensor::Matrix embedding = model_.embed_inference(tape, tensors);
-  const std::size_t row = admit(s.name, embedding);
-  pinned_.insert(s.name);
-  s.accepted = true;
-  const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
-  s.corpus_index = mapping.empty() ? row : mapping[row];
+  // One admission ticket: the pinned row lands between two screening
+  // commits, never mid-commit, so add_library is safe while consumers
+  // stream.
+  const std::size_t ticket = reserve_tickets(1);
+  commit_begin(ticket);
+  try {
+    std::unique_lock<std::shared_mutex> state(state_mu_);
+    const std::size_t row = admit(s.name, embedding);
+    pinned_.insert(s.name);
+    s.accepted = true;
+    const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
+    s.corpus_index = mapping.empty() ? row : mapping[row];
+  } catch (...) {
+    commit_end();
+    throw;
+  }
+  commit_end();
   return s;
 }
 
@@ -118,7 +170,7 @@ Submission AuditService::add_library(const train::GraphEntry& entry) {
 }
 
 bool AuditService::submit(std::string name, std::string verilog_source) {
-  PendingItem item;
+  AuditItem item;
   item.name = std::move(name);
   item.source = std::move(verilog_source);
   item.from_source = true;
@@ -126,7 +178,7 @@ bool AuditService::submit(std::string name, std::string verilog_source) {
 }
 
 bool AuditService::submit(std::string name, gnn::GraphTensors tensors) {
-  PendingItem item;
+  AuditItem item;
   item.name = std::move(name);
   item.tensors = std::move(tensors);
   return queue_.try_push(std::move(item));
@@ -137,98 +189,151 @@ bool AuditService::submit(const train::GraphEntry& entry) {
 }
 
 std::vector<ScreenReport> AuditService::screen() {
-  std::vector<PendingItem> batch = queue_.drain();
+  std::vector<AuditItem> batch;
+  std::size_t first_ticket = 0;
+  {
+    // Drain and reserve atomically: two sync callers racing here could
+    // otherwise dequeue in one order and ticket in the other.
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    batch = queue_.drain();
+    first_ticket = reserve_tickets(batch.size());
+  }
+  if (batch.empty()) return {};
+  return screen_batch(std::move(batch), first_ticket, nullptr);
+}
+
+void AuditService::commit_one(const std::string& name,
+                              const tensor::Matrix& embedding,
+                              ScreenReport& report,
+                              std::vector<ScreenReport>* prior,
+                              std::size_t prior_count) {
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  const std::size_t row = admit(name, embedding);
+  const std::size_t n = corpus_.size();  // row == n - 1
+  // Score this one submission against everything admitted under an
+  // earlier ticket — a 1×n score_new_rows slice, the same cells a
+  // batch-of-one screen() has always produced. A same-name row replaced
+  // by admit() above is a tombstone here: still scored positionally,
+  // filtered by the live() check like any other tombstone.
+  if (n > 1) {
+    const tensor::Matrix scores = corpus_.score_new_rows(n - 1);
+    const std::span<const float> srow = scores.row(0);
+    for (std::size_t j = 0; j + 1 < n; ++j) {
+      if (!corpus_.live(j)) continue;
+      Verdict v;
+      v.matched = corpus_.name(j);
+      v.corpus_index = j;
+      v.similarity = srow[j];
+      v.flagged = srow[j] > options_.scorer.delta;
+      if (!report.best || v.similarity > report.best->similarity) {
+        report.best = v;
+      }
+      if (v.flagged) report.verdicts.push_back(std::move(v));
+    }
+    std::sort(report.verdicts.begin(), report.verdicts.end(),
+              [](const Verdict& x, const Verdict& y) {
+                if (x.similarity != y.similarity) {
+                  return x.similarity > y.similarity;
+                }
+                return x.corpus_index < y.corpus_index;
+              });
+  }
+  report.submission.accepted = true;
+  report.submission.corpus_index = row;
+  const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
+  if (!mapping.empty()) {
+    remap_report(report, mapping);
+    // Single-consumer screen() keeps its finished reports current
+    // through later batch-mates' compactions, so a caller sees indices
+    // valid at the end of the call (evicted ⇒ kNoIndex) — the original
+    // batch contract.
+    if (prior != nullptr) {
+      for (std::size_t p = 0; p < prior_count; ++p) {
+        remap_report((*prior)[p], mapping);
+      }
+    }
+  }
+}
+
+std::vector<ScreenReport> AuditService::screen_batch(
+    std::vector<AuditItem> batch, std::size_t first_ticket,
+    const CommitCallback& on_commit) {
   std::vector<ScreenReport> reports(batch.size());
   if (batch.empty()) return reports;
 
-  // Compile + embed, one slot per design: designs are independent, each
-  // worker writes only its own slot, and the per-worker tape is reset
-  // per graph — embeddings (hence every score below) are bit-identical
-  // for any worker count. A malformed design lands a Diagnostic in its
-  // own report and never touches its batch-mates. The fan-out rides the
-  // corpus's worker resolution (owned pool for explicit counts — no
-  // transient pool spawn per batch on this hot path).
-  std::vector<tensor::Matrix> embeddings(batch.size());
-  corpus_.fan_out(
-      batch.size(), [&](std::size_t i) {
-        static thread_local tensor::Tape tape;
-        PendingItem& item = batch[i];
-        reports[i].submission.name = item.name;
-        if (item.from_source) {
-          CompileResult compiled = pipeline_.compile(item.source);
-          if (!compiled.ok) {
-            reports[i].submission.error = std::move(compiled.error);
-            return;
-          }
-          item.tensors = std::move(compiled.design.tensors);
+  // Every reserved ticket MUST commit exactly once or the turnstile
+  // stalls all consumers; on any exception the remaining tickets are
+  // advanced as no-ops before rethrowing.
+  std::size_t committed = 0;
+  try {
+    // Phase 1 — compile + featurize + embed, one slot per design, on
+    // this call's own scratch state: designs are independent, each
+    // worker writes only its own slot, and the per-worker tape is reset
+    // per graph — embeddings (hence every score below) are
+    // bit-identical for any worker count. This phase takes no locks and
+    // no tickets, so K consumers embed disjoint batches fully in
+    // parallel. A malformed design lands a Diagnostic in its own report
+    // and never touches its batch-mates.
+    std::vector<tensor::Matrix> embeddings(batch.size());
+    corpus_.fan_out(batch.size(), [&](std::size_t i) {
+      static thread_local tensor::Tape tape;
+      AuditItem& item = batch[i];
+      reports[i].submission.name = item.name;
+      if (item.from_source) {
+        CompileResult compiled = pipeline_.compile(item.source);
+        if (!compiled.ok) {
+          reports[i].submission.error = std::move(compiled.error);
+          return;
         }
-        embeddings[i] = model_.embed_inference(tape, item.tensors);
-        reports[i].submission.accepted = true;
-      });
-
-  // Admit in submission order (deterministic LRU order; duplicate names
-  // within the batch resolve to the last submission).
-  const std::size_t watermark = corpus_.size();
-  std::vector<std::size_t> admitted_row(
-      batch.size(), core::ShardedCorpus::kNoIndex);
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!reports[i].submission.accepted) continue;
-    admitted_row[i] = admit(batch[i].name, embeddings[i]);
-  }
-
-  // Score the whole batch against the pre-batch residents in one
-  // incremental pass — ShardedCorpus::score_new_rows, bit-identical to
-  // the single-shard PairwiseScorer path for any shard/worker count.
-  if (corpus_.size() > watermark) {
-    const tensor::Matrix scores = corpus_.score_new_rows(watermark);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      if (admitted_row[i] == core::ShardedCorpus::kNoIndex) continue;
-      const std::span<const float> row =
-          scores.row(admitted_row[i] - watermark);
-      ScreenReport& report = reports[i];
-      for (std::size_t j = 0; j < watermark; ++j) {
-        if (!corpus_.live(j)) continue;  // replaced earlier in this batch
-        Verdict v;
-        v.matched = corpus_.name(j);
-        v.corpus_index = j;
-        v.similarity = row[j];
-        v.flagged = row[j] > options_.scorer.delta;
-        if (!report.best || v.similarity > report.best->similarity) {
-          report.best = v;
-        }
-        if (v.flagged) report.verdicts.push_back(std::move(v));
+        item.tensors = std::move(compiled.design.tensors);
       }
-      std::sort(report.verdicts.begin(), report.verdicts.end(),
-                [](const Verdict& x, const Verdict& y) {
-                  if (x.similarity != y.similarity) {
-                    return x.similarity > y.similarity;
-                  }
-                  return x.corpus_index < y.corpus_index;
-                });
-    }
-  }
+      embeddings[i] = model_.embed_inference(tape, item.tensors);
+      // Deferred to the commit slot: accepted is the "admitted" flag,
+      // and admission happens under the ticket.
+    });
 
-  // Bound the resident cache, then rewrite every reported index to the
-  // compacted numbering (kNoIndex = gone again already; an empty
-  // mapping means nothing moved).
-  const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    ScreenReport& report = reports[i];
-    if (admitted_row[i] != core::ShardedCorpus::kNoIndex) {
-      report.submission.corpus_index =
-          mapping.empty() ? admitted_row[i] : mapping[admitted_row[i]];
+    // Phase 2 — commit each item under its ticket. The turnstile
+    // serializes commits across every consumer in global ticket order,
+    // so each submission scores against exactly the corpus a sequential
+    // single-consumer run would have at that point. Rejected items
+    // consume their ticket as a no-op so the order never stalls.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      commit_begin(first_ticket + i);
+      try {
+        const bool embedded = !embeddings[i].empty();
+        if (embedded) {
+          commit_one(batch[i].name, embeddings[i], reports[i],
+                     on_commit ? nullptr : &reports, i);
+        }
+        // Hand off inside the commit slot: on_commit invocations are
+        // mutually exclusive across consumers and arrive in ticket
+        // order — the serialized-callback contract AsyncAuditor
+        // re-exports as on_report.
+        if (on_commit) on_commit(i, std::move(reports[i]));
+      } catch (...) {
+        commit_end();
+        ++committed;
+        throw;
+      }
+      commit_end();
+      ++committed;
     }
-    if (mapping.empty()) continue;
-    for (Verdict& v : report.verdicts) v.corpus_index = mapping[v.corpus_index];
-    if (report.best) {
-      report.best->corpus_index = mapping[report.best->corpus_index];
+  } catch (...) {
+    for (std::size_t i = committed; i < batch.size(); ++i) {
+      commit_begin(first_ticket + i);
+      commit_end();
     }
+    throw;
   }
   return reports;
 }
 
 std::vector<Verdict> AuditService::top_k(const std::string& name,
                                          std::size_t k) const {
+  // Shared state lock for the whole read: commits (which may compact
+  // and renumber) wait, concurrent readers overlap, so the index stays
+  // valid across the corpus scan below.
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   const auto it = index_by_name_.find(name);
   GNN4IP_ENSURE(it != index_by_name_.end(),
                 "AuditService::top_k: '" + name + "' is not resident");
@@ -245,22 +350,29 @@ std::vector<Verdict> AuditService::top_k(const std::string& name,
 }
 
 void AuditService::pin(const std::string& name) {
-  GNN4IP_ENSURE(contains(name),
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  GNN4IP_ENSURE(index_by_name_.count(name) != 0,
                 "AuditService::pin: '" + name + "' is not resident");
   pinned_.insert(name);
 }
 
-void AuditService::unpin(const std::string& name) { pinned_.erase(name); }
+void AuditService::unpin(const std::string& name) {
+  std::unique_lock<std::shared_mutex> state(state_mu_);
+  pinned_.erase(name);
+}
 
 bool AuditService::pinned(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   return pinned_.count(name) != 0;
 }
 
 bool AuditService::contains(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   return index_by_name_.count(name) != 0;
 }
 
 std::size_t AuditService::index_of(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> state(state_mu_);
   const auto it = index_by_name_.find(name);
   return it == index_by_name_.end() ? core::ShardedCorpus::kNoIndex
                                     : it->second;

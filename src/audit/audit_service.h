@@ -13,27 +13,45 @@
 //   service.submit("incoming#1", verilog_text);    // bounded MP queue
 //   for (const auto& report : service.screen())    // batch: parse →
 //     ...                                          //  featurize → embed
-//                                                  //  → score_new_rows
+//                                                  //  → score → admit
 //
 // Error handling is Result-style per submission: a malformed design
 // yields a Diagnostic in its ScreenReport and never kills the batch.
 // The resident cache is bounded by max_resident with a pluggable
 // EvictionPolicy (LRU by default), plus an optional per-shard budget;
-// pinned library entries are never evicted. Scores are bit-identical
-// for any shard count and any worker count — screen() reads the same
-// score_new_rows cells a hand-built single-shard PairwiseScorer would
-// produce, because both sit on the same core/cosine_kernels arithmetic
-// and the sharded corpus keeps a shard-count-independent global index
-// space.
+// pinned library entries are never evicted.
 //
-// Threading: submit() is safe from any number of producer threads;
-// screen(), add_library(), and top_k() mutate the corpus and belong to
-// one consumer thread (the screening loop). audit::AsyncAuditor wraps a
-// service in exactly that consumer thread when callers want a daemon.
+// Commit semantics (the determinism contract): every submission commits
+// *individually*, in admission-ticket order — admit, score against the
+// residents present at that instant, evict, compact. A batch of N is
+// therefore bit-identical to N batches of one, which is what makes the
+// verdict set for a fixed submission stream invariant across batching,
+// shard count, worker count, *and consumer count*: any interleaving of
+// K consumers produces the same per-ticket corpus states a sequential
+// single-consumer run would. (Before the multi-consumer refactor,
+// screen() scored a whole batch against the pre-batch corpus; verdicts
+// now include batch-mates admitted under earlier tickets.)
+//
+// Threading: submit() is safe from any number of producer threads.
+// screen() and screen_batch() are re-entrant — K consumer threads may
+// screen disjoint batches concurrently. The expensive phase (compile +
+// featurize + embed) runs fully parallel across consumers on per-call
+// scratch state; the commit phase serializes through a ticket turnstile
+// (tickets from reserve_tickets() commit in order), which is the single
+// serialized commit point guarding the eviction policy and the name
+// index. add_library() rides the same turnstile, so growing the pinned
+// library mid-stream is safe too. top_k()/contains()/index_of()/
+// pinned()/index-stable reads take the state lock shared and may run
+// concurrently with screening. audit::AsyncAuditor stands a pool of
+// daemon consumers on top of screen_batch().
 #pragma once
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,14 +90,26 @@ struct AuditOptions {
   gnn::FeaturizeOptions featurize;
 };
 
+/// One design handed to screen_batch(): either Verilog source to
+/// compile or pre-featurized tensors. This is the unit multi-consumer
+/// front ends (audit::AsyncAuditor) build batches from without going
+/// through the service's own submission queue.
+struct AuditItem {
+  std::string name;
+  std::string source;         // valid when from_source
+  gnn::GraphTensors tensors;  // valid otherwise
+  bool from_source = false;
+};
+
 /// Per-submission outcome: admitted to the corpus, or rejected with a
 /// diagnostic. One bad design never affects its batch-mates.
 struct Submission {
   std::string name;
   bool accepted = false;  // compiled + embedded + admitted
-  /// Index in the (compacted) corpus after screen(); kNoIndex when the
-  /// entry was rejected, evicted in the same call, or replaced by a
-  /// later submission of the same name.
+  /// Corpus index as of this submission's commit; kNoIndex when the
+  /// entry was rejected or evicted by its own commit. Later commits
+  /// (same batch or a concurrent consumer's) may evict or renumber the
+  /// entry — resolve current positions via AuditService::index_of.
   std::size_t corpus_index = core::ShardedCorpus::kNoIndex;
   Diagnostic error;  // valid when !accepted
 };
@@ -87,8 +117,8 @@ struct Submission {
 /// One similarity verdict against a resident corpus entry.
 struct Verdict {
   std::string matched;  // corpus entry name at scoring time
-  /// Post-compaction index of the matched entry; kNoIndex if it was
-  /// evicted by the same screen() call that produced the verdict.
+  /// Index of the matched entry as of the submission's commit; kNoIndex
+  /// if that commit itself evicted it. Stale after later commits.
   std::size_t corpus_index = core::ShardedCorpus::kNoIndex;
   float similarity = 0.0F;  // Ŷ ∈ [−1, 1]
   bool flagged = false;     // Ŷ > δ (Alg. 1 decision)
@@ -97,18 +127,25 @@ struct Verdict {
 /// screen() output for one submission, in submission order.
 struct ScreenReport {
   Submission submission;
-  /// Resident entries scoring above δ, descending similarity
-  /// (ascending corpus index on ties). Empty when nothing flags or the
-  /// submission was rejected.
+  /// Residents scoring above δ at this submission's commit (everything
+  /// admitted under an earlier ticket, batch-mates included),
+  /// descending similarity (ascending corpus index on ties). Empty when
+  /// nothing flags or the submission was rejected.
   std::vector<Verdict> verdicts;
   /// Nearest resident entry even when nothing flags (the "closest
-  /// miss"); nullopt when the resident corpus was empty at screening
-  /// time or the submission was rejected.
+  /// miss"); nullopt when the resident corpus was empty at commit time
+  /// or the submission was rejected.
   std::optional<Verdict> best;
 };
 
 class AuditService {
  public:
+  /// Serialized per-commit delivery hook for screen_batch: fired inside
+  /// the commit turnstile (so invocations across all consumers are
+  /// mutually exclusive and in global ticket order) with the item's
+  /// index within its batch and the finished report, which it consumes.
+  using CommitCallback = std::function<void(std::size_t, ScreenReport&&)>;
+
   /// Takes ownership of a trained model. `policy` defaults to LRU.
   explicit AuditService(gnn::Hw2Vec model, const AuditOptions& options = {},
                         std::unique_ptr<EvictionPolicy> policy = nullptr);
@@ -122,6 +159,8 @@ class AuditService {
   /// Compile + embed + admit inline and pin (never evicted). Returns the
   /// per-design outcome; a parse failure reports a Diagnostic and leaves
   /// the corpus untouched. Re-adding a resident name replaces its row.
+  /// Takes one admission ticket, so it is safe concurrently with
+  /// screening consumers (the row lands between two commits).
   Submission add_library(std::string name, const std::string& verilog_source);
   Submission add_library(std::string name, gnn::GraphTensors tensors);
   Submission add_library(const train::GraphEntry& entry);
@@ -138,17 +177,41 @@ class AuditService {
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
   // ---- Screening --------------------------------------------------------
-  /// Drain the queue as one batch: compile + embed in parallel (one
-  /// slot per design; bit-identical for any worker count), admit the
-  /// accepted designs, score them against the pre-batch resident corpus
-  /// via ShardedCorpus::score_new_rows (shards fanned out over the
-  /// worker pool), then evict down to max_resident / shard_budget and
-  /// compact. Reports align with submission order; duplicate names
-  /// within a batch resolve to the last submission.
+  /// Drain the queue as one batch and screen it (screen_batch below with
+  /// freshly reserved tickets). Reports align with submission order;
+  /// each submission commits individually in ticket order, so a
+  /// resubmitted name replaces its earlier row at its own commit and
+  /// later batch-mates score against it.
   std::vector<ScreenReport> screen();
 
+  /// Reserve `n` consecutive admission tickets; returns the first.
+  /// Tickets are the global commit order: screen_batch commits item i
+  /// under ticket first_ticket + i, and a commit waits until every
+  /// earlier ticket has committed. Callers must reserve in the same
+  /// order they dequeued the submissions (AsyncAuditor holds one
+  /// hand-off lock across {pop batch, reserve}) and must eventually
+  /// commit every reserved ticket — screen_batch guarantees this even
+  /// on the exception path.
+  [[nodiscard]] std::size_t reserve_tickets(std::size_t n);
+
+  /// Screen one batch re-entrantly: compile + featurize + embed on this
+  /// thread's scratch state (fully concurrent across consumers), then
+  /// commit each item in ticket order through the turnstile — admit,
+  /// score against the residents of that instant, evict, compact. With
+  /// `on_commit` set, each report is handed off inside its commit slot
+  /// (serialized across consumers, global ticket order) and the
+  /// returned vector holds moved-from placeholders; otherwise reports
+  /// are returned in batch order with indices remapped to the corpus
+  /// state at the *end* of the batch (the single-consumer contract:
+  /// entries evicted by a later batch-mate read kNoIndex).
+  std::vector<ScreenReport> screen_batch(std::vector<AuditItem> batch,
+                                         std::size_t first_ticket,
+                                         const CommitCallback& on_commit);
+
   /// The k resident entries most similar to resident entry `name`
-  /// (itself excluded), descending similarity, flagged per δ.
+  /// (itself excluded), descending similarity, flagged per δ. Safe
+  /// concurrently with screening (takes the state lock shared — commits
+  /// wait, readers overlap).
   [[nodiscard]] std::vector<Verdict> top_k(const std::string& name,
                                            std::size_t k) const;
 
@@ -165,6 +228,8 @@ class AuditService {
     return corpus_.name(i);
   }
   [[nodiscard]] float delta() const { return options_.scorer.delta; }
+  /// Configuration-time knob: not synchronized against in-flight
+  /// screening consumers.
   void set_delta(float delta) { options_.scorer.delta = delta; }
   [[nodiscard]] const AuditOptions& options() const { return options_; }
   [[nodiscard]] gnn::Hw2Vec& model() { return model_; }
@@ -173,21 +238,30 @@ class AuditService {
   [[nodiscard]] const core::ShardedCorpus& corpus() const { return corpus_; }
 
  private:
-  struct PendingItem {
-    std::string name;
-    std::string source;          // valid when from_source
-    gnn::GraphTensors tensors;   // valid otherwise
-    bool from_source = false;
-  };
+  /// Block until `ticket` is the next to commit (turnstile entry).
+  void commit_begin(std::size_t ticket);
+  /// Release the turnstile to the next ticket.
+  void commit_end();
+  /// Commit one accepted submission under the turnstile (caller holds
+  /// the commit slot): admit, score vs the current residents, evict,
+  /// compact, and write the report. `prior` (when non-null) is the
+  /// already-committed prefix of this batch whose indices must chase
+  /// this commit's compaction mapping (single-consumer screen()
+  /// contract).
+  void commit_one(const std::string& name, const tensor::Matrix& embedding,
+                  ScreenReport& report, std::vector<ScreenReport>* prior,
+                  std::size_t prior_count);
 
   /// Admit an embedding under `name`, replacing any resident row of the
-  /// same name. Returns the (pre-compaction) row index.
+  /// same name. Returns the (pre-compaction) row index. Caller holds
+  /// the commit slot and state_mu_ exclusively.
   std::size_t admit(const std::string& name,
                     const tensor::Matrix& embedding);
   /// Evict down to max_resident, then down to shard_budget per shard
   /// (never pinned entries), then compact the corpus and remap the name
   /// index. Returns the old→new mapping; empty when nothing was removed
-  /// (indices unchanged).
+  /// (indices unchanged). Caller holds the commit slot and state_mu_
+  /// exclusively.
   std::vector<std::size_t> enforce_capacity_and_compact();
 
   AuditOptions options_;
@@ -195,9 +269,26 @@ class AuditService {
   Pipeline pipeline_;
   core::ShardedCorpus corpus_;
   std::unique_ptr<EvictionPolicy> policy_;
-  util::BoundedQueue<PendingItem> queue_;
+  util::BoundedQueue<AuditItem> queue_;
+
+  /// Guards index_by_name_/pinned_/policy_: exclusive inside a commit
+  /// slot (mutations are already serialized by the turnstile; the lock
+  /// exists for the readers), shared in top_k/contains/index_of/pinned.
+  mutable std::shared_mutex state_mu_;
   std::unordered_map<std::string, std::size_t> index_by_name_;
   std::unordered_set<std::string> pinned_;
+
+  /// The admission-ticket turnstile: tickets_issued_ is the next ticket
+  /// to hand out, next_commit_ the next allowed to commit. Commits
+  /// proceed in strictly increasing ticket order across all consumers.
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::size_t tickets_issued_ = 0;  // guarded by commit_mu_
+  std::size_t next_commit_ = 0;     // guarded by commit_mu_
+
+  /// Serializes {drain queue_, reserve tickets} in screen() so two
+  /// legacy sync callers cannot invert pop order vs ticket order.
+  std::mutex sync_mu_;
 };
 
 }  // namespace gnn4ip::audit

@@ -15,6 +15,10 @@ ShardedCorpus::ShardedCorpus(std::size_t num_shards,
   GNN4IP_ENSURE(num_shards > 0, "ShardedCorpus: need at least one shard");
   shards_.resize(num_shards);
   globals_.resize(num_shards);
+  stripes_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    stripes_.push_back(std::make_unique<std::shared_mutex>());
+  }
 }
 
 std::size_t ShardedCorpus::placement(std::string_view name,
@@ -30,9 +34,26 @@ std::size_t ShardedCorpus::placement(std::string_view name,
   return static_cast<std::size_t>(h % num_shards);
 }
 
+std::vector<std::shared_lock<std::shared_mutex>>
+ShardedCorpus::lock_all_stripes_shared() const {
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(stripes_.size());
+  for (const std::unique_ptr<std::shared_mutex>& stripe : stripes_) {
+    locks.emplace_back(*stripe);
+  }
+  return locks;
+}
+
 std::size_t ShardedCorpus::add(std::string name,
                                const tensor::Matrix& embedding) {
   GNN4IP_ENSURE(!embedding.empty(), "ShardedCorpus: empty embedding");
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  // The admission ticket: whoever wins index_mu_ next gets the next
+  // global id, so interleaved admissions from several consumers fold
+  // into one deterministic insertion order. The placed shard's stripe
+  // nests inside (index before stripe everywhere), blocking only that
+  // shard's readers for the append.
+  std::unique_lock<std::shared_mutex> index(index_mu_);
   if (dim_ == 0) {
     dim_ = embedding.size();
   } else {
@@ -42,36 +63,81 @@ std::size_t ShardedCorpus::add(std::string name,
                       std::to_string(dim_));
   }
   const std::size_t s = placement(name, shards_.size());
-  const std::size_t local = shards_[s].add(std::move(name), embedding);
   const std::size_t global = entries_.size();
-  entries_.push_back({s, local});
-  globals_[s].push_back(global);
+  {
+    std::unique_lock<std::shared_mutex> stripe(*stripes_[s]);
+    const std::size_t local = shards_[s].add(std::move(name), embedding);
+    entries_.push_back({s, local});
+    globals_[s].push_back(global);
+  }
   ++live_count_;
   return global;
 }
 
+std::size_t ShardedCorpus::size() const {
+  std::shared_lock<std::shared_mutex> index(index_mu_);
+  return entries_.size();
+}
+
+std::size_t ShardedCorpus::dim() const {
+  std::shared_lock<std::shared_mutex> index(index_mu_);
+  return dim_;
+}
+
+std::size_t ShardedCorpus::live_count() const {
+  std::shared_lock<std::shared_mutex> index(index_mu_);
+  return live_count_;
+}
+
 const std::string& ShardedCorpus::name(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::shared_lock<std::shared_mutex> index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
+  // Names are stable between compacts (EmbeddingStore::add never moves
+  // the std::string storage of earlier names), so returning the
+  // reference after dropping the locks is safe until the next compact().
   return shards_[entries_[i].shard].name(entries_[i].local);
 }
 
 std::span<const float> ShardedCorpus::row(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::shared_lock<std::shared_mutex> index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: row index out of range");
-  return shards_[entries_[i].shard].row(entries_[i].local);
+  const EntryRef e = entries_[i];
+  std::shared_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+  return row_nolock(e);
 }
 
 void ShardedCorpus::remove(std::size_t i) {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::unique_lock<std::shared_mutex> index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: remove out of range");
-  shards_[entries_[i].shard].remove(entries_[i].local);
+  const EntryRef e = entries_[i];
+  {
+    std::unique_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+    shards_[e.shard].remove(e.local);
+  }
   --live_count_;
 }
 
 bool ShardedCorpus::live(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::shared_lock<std::shared_mutex> index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
-  return shards_[entries_[i].shard].live(entries_[i].local);
+  const EntryRef e = entries_[i];
+  std::shared_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+  return shards_[e.shard].live(e.local);
 }
 
 std::vector<std::size_t> ShardedCorpus::compact() {
+  // The global epoch: exclusive over every reader and admitter, so the
+  // dense renumbering below can never be observed half-applied. The
+  // index lock is still needed on top: size()/dim()/live_count()/
+  // shard_of() read under index_mu_ alone (they never touch row data,
+  // so they skip the epoch), and entries_/live_count_/globals_ are
+  // about to be rewritten.
+  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::unique_lock<std::shared_mutex> index(index_mu_);
   // Compact each shard, then renumber the survivors densely in global
   // insertion order — the numbering a single-shard compact() would have
   // produced, so the mapping values never depend on the shard count.
@@ -101,12 +167,18 @@ std::vector<std::size_t> ShardedCorpus::compact() {
 }
 
 std::size_t ShardedCorpus::shard_of(std::size_t i) const {
+  std::shared_lock<std::shared_mutex> index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
   return entries_[i].shard;
 }
 
 std::size_t ShardedCorpus::shard_live_count(std::size_t s) const {
   GNN4IP_ENSURE(s < shards_.size(), "ShardedCorpus: shard out of range");
+  // Epoch shared: compact() rewrites the shard stores under the epoch
+  // alone (it already excludes every stripe holder), so a bare stripe
+  // lock would race with it.
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::shared_lock<std::shared_mutex> stripe(*stripes_[s]);
   return shards_[s].live_count();
 }
 
@@ -116,18 +188,38 @@ const EmbeddingStore& ShardedCorpus::shard(std::size_t s) const {
 }
 
 float ShardedCorpus::score(std::size_t i, std::size_t j) const {
-  GNN4IP_ENSURE(i < size() && j < size(),
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::shared_lock<std::shared_mutex> index(index_mu_);
+  GNN4IP_ENSURE(i < entries_.size() && j < entries_.size(),
                 "ShardedCorpus: pair index out of range");
-  return cosine_pair(row(i), row(j));
+  const EntryRef a = entries_[i];
+  const EntryRef b = entries_[j];
+  index.unlock();
+  const auto stripes = lock_all_stripes_shared();
+  return cosine_pair(row_nolock(a), row_nolock(b));
 }
 
 tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
-  GNN4IP_ENSURE(first_new <= size(),
-                "score_new_rows: first_new past the corpus end");
-  const std::size_t n = size();
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  // Snapshot the index under index_mu_, then scan under the shard
+  // stripes: rows admitted after the snapshot (global id ≥ n, or a
+  // local slot past the snapshot of its shard) are skipped, so the
+  // matrix is exactly the corpus as of entry.
+  std::vector<EntryRef> query_refs;
+  std::size_t n = 0;
+  {
+    std::shared_lock<std::shared_mutex> index(index_mu_);
+    GNN4IP_ENSURE(first_new <= entries_.size(),
+                  "score_new_rows: first_new past the corpus end");
+    n = entries_.size();
+    query_refs.assign(entries_.begin() +
+                          static_cast<std::ptrdiff_t>(first_new),
+                      entries_.end());
+  }
   const std::size_t new_rows = n - first_new;
   tensor::Matrix result(new_rows, n);
   if (new_rows == 0) return result;
+  const auto stripes = lock_all_stripes_shared();
   // Query rows and norms resolve once on the coordinating thread (the
   // per-global row() lookup is a bounds-checked double indirection —
   // too heavy for the inner loop of the hot screening path); each shard
@@ -136,20 +228,23 @@ tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
   // Every cell is written exactly once from the same two rows and the
   // same ascending-k arithmetic as PairwiseScorer::score_new_rows, so
   // the matrix is bit-identical for any shard count × worker count.
+  const std::size_t d =
+      query_refs.empty() ? 0 : row_nolock(query_refs[0]).size();
   std::vector<std::span<const float>> query_rows(new_rows);
   std::vector<float> query_norms(new_rows);
   for (std::size_t r = 0; r < new_rows; ++r) {
-    query_rows[r] = row(first_new + r);
+    query_rows[r] = row_nolock(query_refs[r]);
     query_norms[r] = row_norm(query_rows[r]);
   }
   const auto run_shard = [&](std::size_t s) {
     const EmbeddingStore& store = shards_[s];
     for (std::size_t local = 0; local < store.size(); ++local) {
       const std::size_t g = globals_[s][local];
+      if (g >= n) continue;  // admitted after the snapshot
       const float* rb = store.row(local).data();
       const float norm_b = row_norm(store.row(local));
       for (std::size_t r = 0; r < new_rows; ++r) {
-        result.row(r)[g] = cosine_cell(query_rows[r].data(), rb, dim_,
+        result.row(r)[g] = cosine_cell(query_rows[r].data(), rb, d,
                                        query_norms[r] * norm_b);
       }
     }
@@ -160,26 +255,38 @@ tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
 
 std::vector<PairScore> ShardedCorpus::top_k(std::size_t i,
                                             std::size_t k) const {
-  GNN4IP_ENSURE(i < size(), "top_k: row index out of range");
-  GNN4IP_ENSURE(live(i), "top_k: row has been removed");
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  EntryRef query_ref;
+  std::size_t n = 0;
+  std::size_t live_now = 0;
+  {
+    std::shared_lock<std::shared_mutex> index(index_mu_);
+    GNN4IP_ENSURE(i < entries_.size(), "top_k: row index out of range");
+    query_ref = entries_[i];
+    n = entries_.size();
+    live_now = live_count_;
+  }
+  const auto stripes = lock_all_stripes_shared();
+  GNN4IP_ENSURE(shards_[query_ref.shard].live(query_ref.local),
+                "top_k: row has been removed");
   // Each shard scans its own live rows in parallel; the merge comparator
   // (similarity desc, global index asc) is a total order over candidates
   // with distinct global indices, so the merged prefix is the same no
   // matter how candidates were bucketed.
-  const std::span<const float> query = row(i);
+  const std::span<const float> query = row_nolock(query_ref);
   std::vector<std::vector<PairScore>> buckets(shards_.size());
   const auto scan_shard = [&](std::size_t s) {
     const EmbeddingStore& store = shards_[s];
     for (std::size_t local = 0; local < store.size(); ++local) {
       const std::size_t g = globals_[s][local];
-      if (g == i || !store.live(local)) continue;
+      if (g >= n || g == i || !store.live(local)) continue;
       buckets[s].push_back({i, g, cosine_pair(query, store.row(local))});
     }
   };
   fan_out(shards_.size(), scan_shard);
 
   std::vector<PairScore> neighbours;
-  neighbours.reserve(live_count_ > 0 ? live_count_ - 1 : 0);
+  neighbours.reserve(live_now > 0 ? live_now - 1 : 0);
   for (std::vector<PairScore>& bucket : buckets) {
     neighbours.insert(neighbours.end(), bucket.begin(), bucket.end());
   }
@@ -196,6 +303,7 @@ std::vector<PairScore> ShardedCorpus::top_k(std::size_t i,
 }
 
 std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
+  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
   // Fan out over the first member of each pair; worker w writes only
   // per_a[w], and the buckets concatenate in ascending-a order — the
   // exact pair order of the single-shard path. Rows and norms resolve
@@ -204,14 +312,33 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
   // PairwiseScorer::score_all_pairs) instead of three fused accumulators
   // per pair recomputing every norm N−1 times.
   std::vector<std::size_t> live_ids;
-  live_ids.reserve(live_count_);
-  for (std::size_t g = 0; g < entries_.size(); ++g) {
-    if (live(g)) live_ids.push_back(g);
+  std::vector<EntryRef> live_refs;
+  {
+    std::shared_lock<std::shared_mutex> index(index_mu_);
+    live_ids.reserve(live_count_);
+    live_refs.reserve(live_count_);
+    for (std::size_t g = 0; g < entries_.size(); ++g) {
+      const EntryRef& e = entries_[g];
+      live_ids.push_back(g);  // liveness filtered under the stripes below
+      live_refs.push_back(e);
+    }
   }
+  const auto stripes = lock_all_stripes_shared();
+  std::size_t kept = 0;
+  for (std::size_t idx = 0; idx < live_ids.size(); ++idx) {
+    const EntryRef& e = live_refs[idx];
+    if (!shards_[e.shard].live(e.local)) continue;
+    live_ids[kept] = live_ids[idx];
+    live_refs[kept] = e;
+    ++kept;
+  }
+  live_ids.resize(kept);
+  live_refs.resize(kept);
+  const std::size_t d = live_refs.empty() ? 0 : row_nolock(live_refs[0]).size();
   std::vector<std::span<const float>> live_rows(live_ids.size());
   std::vector<float> norms(live_ids.size());
   for (std::size_t a = 0; a < live_ids.size(); ++a) {
-    live_rows[a] = row(live_ids[a]);
+    live_rows[a] = row_nolock(live_refs[a]);
     norms[a] = row_norm(live_rows[a]);
   }
   std::vector<std::vector<PairScore>> per_a(live_ids.size());
@@ -221,12 +348,12 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
     for (std::size_t b = a + 1; b < live_ids.size(); ++b) {
       per_a[a].push_back(
           {live_ids[a], live_ids[b],
-           cosine_cell(ra, live_rows[b].data(), dim_, norms[a] * norms[b])});
+           cosine_cell(ra, live_rows[b].data(), d, norms[a] * norms[b])});
     }
   };
   fan_out(live_ids.size(), score_row);
   std::vector<PairScore> pairs;
-  pairs.reserve(live_count_ * (live_count_ > 0 ? live_count_ - 1 : 0) / 2);
+  pairs.reserve(kept * (kept > 0 ? kept - 1 : 0) / 2);
   for (std::vector<PairScore>& bucket : per_a) {
     pairs.insert(pairs.end(), bucket.begin(), bucket.end());
   }
@@ -236,8 +363,13 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
 void ShardedCorpus::fan_out(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
   if (options_.num_threads > 1) {
-    if (!pool_) {
-      pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+    {
+      // Concurrent consumers may race the first fan_out; the spawn is
+      // one-time, so a plain mutex around the check is cheap enough.
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      if (!pool_) {
+        pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
+      }
     }
     pool_->parallel_for(count, fn);
     return;

@@ -22,11 +22,34 @@
 // score_new_rows and top_k fan the shards out over util::ThreadPool
 // (each shard's task writes only its own entries' cells), so screening
 // scales across cores without a determinism tax.
+//
+// Concurrency (shard-striped reader/writer locking): the corpus is safe
+// for K consumer threads screening concurrent batches.
+//   - Reads (score/score_new_rows/top_k/flag/row/name/live/counts) take
+//     every touched shard's stripe *shared* — readers overlap freely
+//     across consumers.
+//   - Admissions (add) and tombstoning (remove) serialize on the global
+//     index (the deterministic admission-ticket fold: global ids are
+//     assigned in the order admitters win index_mu_) and take only the
+//     placed shard's stripe exclusively — an admission blocks readers of
+//     its own shard, never the other shards' scans.
+//   - compact() takes the global epoch (epoch_mu_ exclusive): it waits
+//     out every in-flight reader and admitter, so an index remap can
+//     never race a reader holding spans or stale global ids.
+// A scan snapshots the corpus size up front and skips rows admitted
+// after it started, so concurrent admissions change *when* a row is
+// first scored, never the arithmetic of cells already in flight.
+// row()/name() return references whose lifetime ends at the next
+// compact(), exactly as before; callers racing admissions must treat
+// them as invalidated by add() of the same shard too (the audit layer's
+// serialized commit point guarantees this).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -57,29 +80,35 @@ class ShardedCorpus {
                                              std::size_t num_shards);
 
   /// Append one design's embedding. Returns its global index (insertion
-  /// order, dense after compact()).
+  /// order, dense after compact()). Safe against concurrent adds and
+  /// reads: global ids are assigned in index-lock acquisition order (the
+  /// admission ticket), and only the placed shard's stripe is taken
+  /// exclusively.
   std::size_t add(std::string name, const tensor::Matrix& embedding);
 
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] std::size_t dim() const { return dim_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t dim() const;
   [[nodiscard]] const std::string& name(std::size_t i) const;
   [[nodiscard]] const ScorerOptions& options() const { return options_; }
 
   /// Zero-copy view of the row behind global index `i` (length dim()).
-  /// Invalidated by add/compact, like a vector iterator.
+  /// Invalidated by compact(), and by add() into the same shard — like a
+  /// vector iterator.
   [[nodiscard]] std::span<const float> row(std::size_t i) const;
 
   /// Tombstone global row `i` (skipped by top_k/flag, erased by the next
   /// compact; still positionally included by score/score_new_rows).
   void remove(std::size_t i);
   [[nodiscard]] bool live(std::size_t i) const;
-  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] std::size_t live_count() const;
 
   /// Compact every shard and renumber the global index space densely in
   /// insertion order. Returns result[old_global] = new_global or
   /// kNoIndex — the same contract as PairwiseScorer::compact(), and the
-  /// same mapping values for any shard count.
+  /// same mapping values for any shard count. Takes the global epoch:
+  /// every in-flight reader and admitter completes first, so no caller
+  /// ever observes a half-remapped index space.
   std::vector<std::size_t> compact();
 
   // ---- Shard introspection ----------------------------------------------
@@ -99,6 +128,7 @@ class ShardedCorpus {
   /// written by exactly one worker from the same two rows the
   /// single-shard path reads, so the result is bit-identical to
   /// PairwiseScorer::score_new_rows for any shard count × worker count.
+  /// N snapshots at entry; rows admitted concurrently are not scored.
   [[nodiscard]] tensor::Matrix score_new_rows(std::size_t first_new) const;
 
   /// The k live entries most similar to global row `i` (i itself and
@@ -106,7 +136,8 @@ class ShardedCorpus {
   /// tie-break. Per-shard candidate scans fan out over the pool; the
   /// merge comparator is a total order (no two candidates share a global
   /// index), so the merged result is independent of shard count, worker
-  /// count, and merge arrival order.
+  /// count, and merge arrival order. Candidates admitted concurrently
+  /// (global id past the entry snapshot) are excluded.
   [[nodiscard]] std::vector<PairScore> top_k(std::size_t i,
                                              std::size_t k) const;
 
@@ -127,8 +158,8 @@ class ShardedCorpus {
   /// (screening is a hot loop — no transient pool spawn/join per call),
   /// 0 the process-wide shared pool, 1 runs inline. Exposed so the
   /// audit layer's batch fan-outs ride the same pool as the scoring
-  /// ones. Like every scoring call, consumer-thread-only (the lazy
-  /// spawn is unsynchronized).
+  /// ones. Safe from concurrent consumers (lazy spawn is guarded;
+  /// concurrent batches serialize inside ThreadPool::parallel_for).
   void fan_out(std::size_t count,
                const std::function<void(std::size_t)>& fn) const;
 
@@ -139,8 +170,34 @@ class ShardedCorpus {
     std::size_t local = 0;
   };
 
+  /// Take every shard stripe shared, ascending — the whole-corpus read
+  /// lock used by the scanning paths (consistent order with admitters,
+  /// which take index_mu_ then one stripe, so no deadlock).
+  [[nodiscard]] std::vector<std::shared_lock<std::shared_mutex>>
+  lock_all_stripes_shared() const;
+
+  /// row() without locks — callers hold the stripes they touch.
+  [[nodiscard]] std::span<const float> row_nolock(const EntryRef& e) const {
+    return shards_[e.shard].row(e.local);
+  }
+
   ScorerOptions options_;
   std::size_t shard_budget_ = 0;
+
+  /// Global epoch: shared by every operation, exclusive by compact().
+  mutable std::shared_mutex epoch_mu_;
+  /// Guards the global index space (entries_, live_count_, dim_):
+  /// shared by readers, exclusive (briefly) by add/remove. Acquisition
+  /// order of the exclusive lock is the deterministic admission ticket.
+  mutable std::shared_mutex index_mu_;
+  /// One reader/writer stripe per shard, guarding that shard's store
+  /// and its local→global table. Allocated once (shared_mutex is
+  /// immovable); never resized after construction.
+  mutable std::vector<std::unique_ptr<std::shared_mutex>> stripes_;
+  /// Guards the lazy spawn of pool_ (concurrent consumers may race the
+  /// first fan_out).
+  mutable std::mutex pool_mu_;
+
   std::size_t dim_ = 0;
   std::size_t live_count_ = 0;
   /// Owned workers for explicit num_threads > 1, spawned on first
@@ -148,7 +205,8 @@ class ShardedCorpus {
   mutable std::unique_ptr<util::ThreadPool> pool_;
   std::vector<EmbeddingStore> shards_;
   std::vector<EntryRef> entries_;  // global index -> (shard, local)
-  // Per shard: local index -> global index (rebuilt by compact()).
+  // Per shard: local index -> global index (appended under the shard's
+  // stripe, rebuilt by compact()).
   std::vector<std::vector<std::size_t>> globals_;
 };
 

@@ -83,6 +83,24 @@ class BoundedQueue {
     return value;
   }
 
+  /// Pop one pending item without blocking (FIFO order). Returns
+  /// std::nullopt when the queue is currently empty — closed or not.
+  /// This is the chunk-builder for multi-consumer drains: one consumer
+  /// blocks in pop() for the batch seed, then try_pop()s the items that
+  /// accumulated behind it, leaving the rest for its sibling consumers
+  /// instead of stealing the whole backlog the way drain() would.
+  [[nodiscard]] std::optional<T> try_pop() {
+    std::optional<T> value;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return value;
+  }
+
   /// Pop everything currently pending, in FIFO order (possibly empty).
   /// Never blocks; usable before and after close().
   [[nodiscard]] std::vector<T> drain() {

@@ -39,7 +39,10 @@ std::vector<train::GraphEntry> small_corpus() {
 TEST(AuditService, ScreenBitIdenticalToScoreNewRowsAcross1And2And8Workers) {
   // The acceptance bar: screen() verdict similarities equal the rows of
   // PairwiseScorer::score_new_rows on an identically built corpus — not
-  // approximately, bit-for-bit — for any worker count.
+  // approximately, bit-for-bit — for any worker count. Submissions
+  // commit one at a time, so submission r scores against the library
+  // AND its r earlier batch-mates (columns j < library + r of the
+  // reference matrix).
   gnn::Hw2Vec model;
   const auto entries = small_corpus();
   ASSERT_GE(entries.size(), 6u);
@@ -71,12 +74,12 @@ TEST(AuditService, ScreenBitIdenticalToScoreNewRowsAcross1And2And8Workers) {
     for (std::size_t r = 0; r < reports.size(); ++r) {
       const ScreenReport& report = reports[r];
       ASSERT_TRUE(report.submission.accepted);
-      ASSERT_EQ(report.verdicts.size(), library);
+      ASSERT_EQ(report.verdicts.size(), library + r);
       std::map<std::string, float> by_name;
       for (const Verdict& v : report.verdicts) {
         by_name[v.matched] = v.similarity;
       }
-      for (std::size_t j = 0; j < library; ++j) {
+      for (std::size_t j = 0; j < library + r; ++j) {
         ASSERT_TRUE(by_name.count(entries[j].name));
         EXPECT_EQ(by_name[entries[j].name], expected.at(r, j))
             << "query " << report.submission.name << " vs "
