@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <future>
 #include <vector>
 
@@ -416,6 +417,38 @@ void BM_ConcurrentScreen(benchmark::State& state) {
 BENCHMARK(BM_ConcurrentScreen)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// One durable round trip across shard counts: save_corpus writes the
+// whole resident corpus (binary shard files + manifest + service
+// state), then a fresh service warm-restarts from it. Measures the
+// checkpoint/restart cost a deployment pays, dominated by the exact-
+// byte float block IO; the snapshot_test suite pins the fidelity.
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  const std::vector<train::GraphEntry>& entries = scoring_corpus();
+  gnn::Hw2Vec model;
+  audit::AuditOptions options;
+  options.num_shards = static_cast<std::size_t>(state.range(0));
+  audit::AuditService service(model, options);
+  for (const train::GraphEntry& entry : entries) {
+    (void)service.add_library(entry);
+  }
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "gnn4ip_bench_snapshot")
+          .string();
+  for (auto _ : state) {
+    service.save_corpus(dir);
+    audit::AuditService restored(model, options);
+    restored.load_corpus(dir);
+    benchmark::DoNotOptimize(restored.resident());
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["resident"] = static_cast<double>(entries.size());
+  state.counters["shards"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SnapshotRoundTrip)
+    ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 

@@ -8,6 +8,7 @@
 //   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
 //              [--delta <d>] [--top-k <k>] [--max-resident <n>]
 //              [--shards <k>] [--threads <n>] [--async] [--consumers <n>]
+//              [--load-corpus <dir>] [--save-corpus <dir>]
 //              <design.v> [<design2.v> ...]
 //                                                 screen designs against
 //                                                 a resident IP library
@@ -24,6 +25,14 @@
 // and --consumers (implies --async) the screening-consumer count; each
 // flag takes precedence over its environment knob (GNN4IP_THREADS /
 // GNN4IP_CONSUMERS, which only apply when no explicit count is set).
+//
+// --save-corpus writes the post-screening resident corpus as a
+// versioned snapshot directory (docs/FORMATS.md); --load-corpus warm-
+// restarts from one before any --corpus additions, standing in for the
+// library list entirely (with it, --corpus becomes optional). A
+// snapshot is tied to the model that produced it: loading against a
+// different model fails with a fingerprint error rather than silently
+// scoring mismatched embeddings.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -37,6 +46,7 @@
 #include "audit/async_auditor.h"
 #include "audit/audit_service.h"
 #include "core/gnn4ip.h"
+#include "core/snapshot_format.h"
 #include "gnn/model_io.h"
 #include "graph/serialize.h"
 
@@ -67,10 +77,11 @@ int usage() {
       "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
       "             [--shards <k>] [--threads <n>] [--async]\n"
       "             [--consumers <n>]\n"
+      "             [--load-corpus <dir>] [--save-corpus <dir>]\n"
       "             <design.v> [...]\n"
       "  (--threads / --consumers override the GNN4IP_THREADS /\n"
       "   GNN4IP_CONSUMERS environment variables; --consumers implies\n"
-      "   --async)\n");
+      "   --async; with --load-corpus, --corpus is optional)\n");
   return 2;
 }
 
@@ -164,6 +175,8 @@ int cmd_audit(const std::vector<std::string>& args) {
   audit::AsyncOptions async_options;
   std::size_t top_k = 0;
   bool use_async = false;
+  std::string load_dir;
+  std::string save_dir;
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& arg = args[i];
     const auto next_value = [&]() -> const std::string& {
@@ -202,6 +215,10 @@ int cmd_audit(const std::vector<std::string>& args) {
       options.scorer.num_threads = static_cast<std::size_t>(threads);
     } else if (arg == "--async") {
       use_async = true;
+    } else if (arg == "--load-corpus") {
+      load_dir = next_value();
+    } else if (arg == "--save-corpus") {
+      save_dir = next_value();
     } else if (arg == "--consumers") {
       // Explicit consumer-pool size: takes precedence over
       // GNN4IP_CONSUMERS (the env knob only resolves when
@@ -221,7 +238,9 @@ int cmd_audit(const std::vector<std::string>& args) {
       incoming_files.push_back(arg);
     }
   }
-  if (corpus_files.empty() || incoming_files.empty()) return usage();
+  // A snapshot stands in for the --corpus library list entirely.
+  if (corpus_files.empty() && load_dir.empty()) return usage();
+  if (incoming_files.empty()) return usage();
 
   // The async front end owns the service; the sync path stands one up
   // directly. Verdicts are bit-identical either way — --async and
@@ -238,6 +257,14 @@ int cmd_audit(const std::vector<std::string>& args) {
   audit::AuditService& service =
       use_async ? auditor->service() : *owned_service;
 
+  if (!load_dir.empty()) {
+    // Warm restart before any --corpus additions: the snapshot is the
+    // baseline library, --corpus files land on top (replacing same-name
+    // rows, exactly like re-adding to a warm service).
+    service.load_corpus(load_dir);
+    std::fprintf(stderr, "loaded corpus snapshot %s (%zu resident)\n",
+                 load_dir.c_str(), service.resident());
+  }
   for (const std::string& path : corpus_files) {
     const audit::Submission s = service.add_library(path, read_file(path));
     if (!s.accepted) {
@@ -316,6 +343,19 @@ int cmd_audit(const std::vector<std::string>& args) {
     report_batch(service.screen());
   }
 
+  if (!save_dir.empty()) {
+    // Quiesce-then-save on the async path (AsyncAuditor::save_corpus);
+    // the sync path is already drained. Either way the snapshot holds
+    // exactly the post-screening resident corpus.
+    if (use_async) {
+      auditor->save_corpus(save_dir);
+    } else {
+      service.save_corpus(save_dir);
+    }
+    std::fprintf(stderr, "saved corpus snapshot to %s (%zu resident)\n",
+                 save_dir.c_str(), service.resident());
+  }
+
   std::printf("%d of %zu design(s) flagged above delta %+.3f\n",
               flagged_designs, incoming_files.size(), service.delta());
   return flagged_designs > 0 ? 0 : 1;  // exit code: 0 = flagged, like grep
@@ -347,6 +387,12 @@ int main(int argc, char** argv) {
   } catch (const verilog::ParseError& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
     return 3;
+  } catch (const core::SnapshotError& e) {
+    // Every malformed-snapshot case is a typed error, never a crash;
+    // give it a distinct exit code so scripts can tell "bad snapshot"
+    // from "bad design".
+    std::fprintf(stderr, "snapshot error: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the docs resolves.
+
+Scans README.md and docs/*.md for [text](target) links, skips absolute
+URLs and pure in-page anchors, and verifies each remaining target exists
+relative to the file that references it. CI runs this in the format job
+so a rename can never silently strand a docs pointer.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def main() -> int:
+    files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+    bad = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            bad.append(f"{md.relative_to(ROOT)}: file listed but missing")
+            continue
+        for match in LINK.finditer(md.read_text(encoding="utf-8")):
+            raw = match.group(1)
+            if raw.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = raw.split("#", 1)[0]
+            if not path:  # pure in-page anchor like (#section)
+                continue
+            checked += 1
+            if not (md.parent / path).resolve().exists():
+                bad.append(f"{md.relative_to(ROOT)}: broken link -> {raw}")
+    for line in bad:
+        print(line, file=sys.stderr)
+    if bad:
+        return 1
+    print(
+        f"checked {checked} relative links across {len(files)} markdown "
+        "files: all resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

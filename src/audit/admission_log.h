@@ -1,0 +1,56 @@
+// audit::AdmissionLog — the replay seam between snapshots.
+//
+// A snapshot (AuditService::save_corpus) captures the resident corpus
+// at one commit; everything admitted *after* it is lost on a crash
+// unless someone records the admissions as they happen. This interface
+// is that seam: the service calls append() inside each commit slot —
+// serialized across all consumers, in global admission-ticket order,
+// after the row has been admitted — and checkpoint() inside each
+// save_corpus() commit, so an implementation always knows exactly which
+// suffix of the log a given snapshot has already absorbed.
+//
+// This PR ships the interface and its wiring only (plus the in-memory
+// RecordingAdmissionLog the tests use); a durable file-backed log that
+// captures the design payload and replays `snapshot + log suffix` on
+// warm restart is a later PR — the ticket order recorded here is
+// already the total order such a replay needs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gnn4ip::audit {
+
+/// One admitted design, as the durability layer sees it. Does not carry
+/// the design payload yet (see the header comment) — the record pins
+/// down *where in the commit order* the admission happened.
+struct AdmissionRecord {
+  /// Global admission ticket of the commit — the total order shared by
+  /// every consumer, add_library call, and snapshot.
+  std::size_t ticket = 0;
+  std::string name;
+  /// True when the admission replaced a resident row of the same name.
+  bool replaced_existing = false;
+  /// True when the admission came through add_library (pinned library
+  /// IP rather than a screened submission).
+  bool pinned = false;
+};
+
+class AdmissionLog {
+ public:
+  virtual ~AdmissionLog() = default;
+
+  /// One admission committed. Called inside the commit slot: invocations
+  /// are mutually exclusive across all consumers and arrive in strictly
+  /// increasing ticket order. Implementations must not call back into
+  /// the service (same re-entrancy rule as AsyncAuditor's on_report).
+  virtual void append(const AdmissionRecord& record) = 0;
+
+  /// A snapshot of the corpus was just written to `snapshot_dir`, as a
+  /// serialized commit: every append() so far is contained in it, and
+  /// every later append() is not. A replaying implementation can
+  /// truncate (or mark) its log here.
+  virtual void checkpoint(const std::string& snapshot_dir) = 0;
+};
+
+}  // namespace gnn4ip::audit

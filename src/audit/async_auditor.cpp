@@ -188,6 +188,11 @@ void AsyncAuditor::quiesce() {
   progress_cv_.wait(lock, [this] { return reported_ == submitted_; });
 }
 
+void AsyncAuditor::save_corpus(const std::string& dir) {
+  quiesce();
+  service_.save_corpus(dir);
+}
+
 void AsyncAuditor::close() {
   queue_.close();  // push fails from here on; pending items stay poppable
   std::lock_guard<std::mutex> lock(close_mu_);

@@ -120,6 +120,17 @@ class AsyncAuditor {
   /// point for touching service().
   void quiesce();
 
+  /// Quiesce-then-save: block until every submission accepted so far
+  /// has committed, then write a corpus snapshot to `dir` via
+  /// AuditService::save_corpus. The save itself rides the admission
+  /// turnstile, so it would be consistent even mid-stream; the quiesce
+  /// pins the snapshot to "everything this producer has submitted" —
+  /// the guarantee a caller checkpointing its own progress needs.
+  /// Producer-thread only (same rule as quiesce(): never from
+  /// on_report). The daemons keep running; submissions racing the save
+  /// land after the snapshot, exactly as if submitted after it.
+  void save_corpus(const std::string& dir);
+
   /// Stop accepting submissions, screen the backlog, fulfil every
   /// outstanding future, and join every consumer. Idempotent.
   void close();

@@ -1,8 +1,12 @@
 #include "audit/audit_service.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "core/snapshot_format.h"
 #include "gnn/model_io.h"
 #include "tensor/tape.h"
 #include "util/contract.h"
@@ -28,14 +32,127 @@ void remap_report(ScreenReport& report,
   }
 }
 
+/// Parsed service.txt (audit-layer snapshot state: the name index and
+/// the pin set; the rows themselves live in the core shard files).
+struct ServiceState {
+  std::vector<std::pair<std::size_t, std::string>> entries;  // index, name
+  std::vector<std::string> pins;
+};
+
+[[noreturn]] void bad_service(const std::string& detail) {
+  throw core::SnapshotManifestError("malformed service state: " + detail);
+}
+
+/// "entry <index> <name>" / "pin <name>" — the name is the rest of the
+/// line verbatim (spaces included), matching how save_corpus writes it.
+std::string rest_of_line(const std::string& line, std::size_t from) {
+  if (from >= line.size()) bad_service("missing name in '" + line + "'");
+  return line.substr(from);
+}
+
+ServiceState read_service_state(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw core::SnapshotManifestError("missing service state file '" +
+                                      path.string() +
+                                      "' (not a service snapshot?)");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw core::SnapshotTruncatedError("service state '" + path.string() +
+                                       "' is empty");
+  }
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    std::string version;
+    ls >> magic >> version;
+    if (magic != core::kServiceMagic) {
+      throw core::SnapshotMagicError(
+          "service state missing '" + std::string(core::kServiceMagic) +
+          "' magic header (got '" + line + "')");
+    }
+    const std::string expected =
+        "v" + std::to_string(core::kServiceFormatVersion);
+    if (version != expected) {
+      throw core::SnapshotVersionError(
+          "unsupported service state version '" + version +
+          "'; this build reads " + expected);
+    }
+  }
+  ServiceState state;
+  std::size_t resident = 0;
+  if (!std::getline(is, line)) {
+    throw core::SnapshotTruncatedError("service state: missing resident count");
+  }
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> resident) || tag != "resident") {
+      bad_service("bad resident line '" + line + "'");
+    }
+  }
+  state.entries.reserve(resident);
+  for (std::size_t i = 0; i < resident; ++i) {
+    if (!std::getline(is, line)) {
+      throw core::SnapshotTruncatedError(
+          "service state: truncated resident entries (" + std::to_string(i) +
+          " of " + std::to_string(resident) + ")");
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    std::size_t index = 0;
+    if (!(ls >> tag >> index) || tag != "entry") {
+      bad_service("bad entry line '" + line + "'");
+    }
+    // Name starts one space past the index token.
+    const std::size_t after_index = line.find(' ', line.find(' ', 0) + 1);
+    if (after_index == std::string::npos) {
+      bad_service("missing name in '" + line + "'");
+    }
+    state.entries.emplace_back(index, rest_of_line(line, after_index + 1));
+  }
+  std::size_t pin_count = 0;
+  if (!std::getline(is, line)) {
+    throw core::SnapshotTruncatedError("service state: missing pin count");
+  }
+  {
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag >> pin_count) || tag != "pins") {
+      bad_service("bad pins line '" + line + "'");
+    }
+  }
+  state.pins.reserve(pin_count);
+  for (std::size_t i = 0; i < pin_count; ++i) {
+    if (!std::getline(is, line)) {
+      throw core::SnapshotTruncatedError(
+          "service state: truncated pin entries (" + std::to_string(i) +
+          " of " + std::to_string(pin_count) + ")");
+    }
+    if (line.rfind("pin ", 0) != 0) bad_service("bad pin line '" + line + "'");
+    state.pins.push_back(rest_of_line(line, 4));
+  }
+  if (!std::getline(is, line) || line != "end") {
+    throw core::SnapshotTruncatedError(
+        "service state: missing 'end' sentinel (truncated file?)");
+  }
+  if (std::getline(is, line)) {
+    bad_service("trailing data after 'end' sentinel");
+  }
+  return state;
+}
+
 }  // namespace
 
 AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
                            std::unique_ptr<EvictionPolicy> policy)
     : options_(options),
       model_(std::move(model)),
+      model_fingerprint_(gnn::model_fingerprint(model_)),
       pipeline_(options.pipeline, options.featurize),
-      corpus_(options.num_shards, options.scorer, options.shard_budget),
+      corpus_(std::make_unique<core::ShardedCorpus>(
+          options.num_shards, options.scorer, options.shard_budget)),
       policy_(policy ? std::move(policy)
                      : std::make_unique<LruEvictionPolicy>()),
       queue_(options.queue_capacity) {}
@@ -72,11 +189,11 @@ std::size_t AuditService::admit(const std::string& name,
   if (it != index_by_name_.end()) {
     // Resubmission replaces the resident row; the pin (if any) follows
     // the name onto the fresh row.
-    corpus_.remove(it->second);
+    corpus_->remove(it->second);
     policy_->erase(name);
     index_by_name_.erase(it);
   }
-  const std::size_t index = corpus_.add(name, embedding);
+  const std::size_t index = corpus_->add(name, embedding);
   index_by_name_[name] = index;
   policy_->touch(name);
   return index;
@@ -84,12 +201,12 @@ std::size_t AuditService::admit(const std::string& name,
 
 std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
   const auto evict = [this](const std::string& victim) {
-    corpus_.remove(index_by_name_.at(victim));
+    corpus_->remove(index_by_name_.at(victim));
     policy_->erase(victim);
     index_by_name_.erase(victim);
   };
   if (options_.max_resident > 0) {
-    while (corpus_.live_count() > options_.max_resident) {
+    while (corpus_->live_count() > options_.max_resident) {
       const std::optional<std::string> victim = policy_->victim(
           [this](const std::string& n) { return pinned_.count(n) == 0; });
       if (!victim) break;  // everything left is pinned library IP
@@ -100,13 +217,13 @@ std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
   // rules but restricted to names placed in the over-budget shard: one
   // hot shard (hash skew, adversarial names) cannot crowd out the rest
   // of the resident cache.
-  if (corpus_.shard_budget() > 0) {
-    for (std::size_t s = 0; s < corpus_.num_shards(); ++s) {
-      while (corpus_.shard_live_count(s) > corpus_.shard_budget()) {
+  if (corpus_->shard_budget() > 0) {
+    for (std::size_t s = 0; s < corpus_->num_shards(); ++s) {
+      while (corpus_->shard_live_count(s) > corpus_->shard_budget()) {
         const std::optional<std::string> victim =
             policy_->victim([this, s](const std::string& n) {
               return pinned_.count(n) == 0 &&
-                     corpus_.shard_of(index_by_name_.at(n)) == s;
+                     corpus_->shard_of(index_by_name_.at(n)) == s;
             });
         if (!victim) break;  // the shard holds only pinned library IP
         evict(*victim);
@@ -117,8 +234,8 @@ std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
   // final, so skip the compaction pass and the name-index rewrite —
   // this keeps building a large pinned library O(N), not O(N²). An
   // empty mapping means identity to the callers.
-  if (corpus_.live_count() == corpus_.size()) return {};
-  const std::vector<std::size_t> mapping = corpus_.compact();
+  if (corpus_->live_count() == corpus_->size()) return {};
+  const std::vector<std::size_t> mapping = corpus_->compact();
   for (auto& [name, index] : index_by_name_) {
     index = mapping[index];
     GNN4IP_ENSURE(index != core::ShardedCorpus::kNoIndex,
@@ -152,9 +269,13 @@ Submission AuditService::add_library(std::string name,
   commit_begin(ticket);
   try {
     std::unique_lock<std::shared_mutex> state(state_mu_);
+    const bool replaced = index_by_name_.count(s.name) != 0;
     const std::size_t row = admit(s.name, embedding);
     pinned_.insert(s.name);
     s.accepted = true;
+    if (admission_log_) {
+      admission_log_->append({ticket, s.name, replaced, /*pinned=*/true});
+    }
     const std::vector<std::size_t> mapping = enforce_capacity_and_compact();
     s.corpus_index = mapping.empty() ? row : mapping[row];
   } catch (...) {
@@ -202,26 +323,30 @@ std::vector<ScreenReport> AuditService::screen() {
   return screen_batch(std::move(batch), first_ticket, nullptr);
 }
 
-void AuditService::commit_one(const std::string& name,
+void AuditService::commit_one(std::size_t ticket, const std::string& name,
                               const tensor::Matrix& embedding,
                               ScreenReport& report,
                               std::vector<ScreenReport>* prior,
                               std::size_t prior_count) {
   std::unique_lock<std::shared_mutex> state(state_mu_);
+  const bool replaced = index_by_name_.count(name) != 0;
   const std::size_t row = admit(name, embedding);
-  const std::size_t n = corpus_.size();  // row == n - 1
+  if (admission_log_) {
+    admission_log_->append({ticket, name, replaced, /*pinned=*/false});
+  }
+  const std::size_t n = corpus_->size();  // row == n - 1
   // Score this one submission against everything admitted under an
   // earlier ticket — a 1×n score_new_rows slice, the same cells a
   // batch-of-one screen() has always produced. A same-name row replaced
   // by admit() above is a tombstone here: still scored positionally,
   // filtered by the live() check like any other tombstone.
   if (n > 1) {
-    const tensor::Matrix scores = corpus_.score_new_rows(n - 1);
+    const tensor::Matrix scores = corpus_->score_new_rows(n - 1);
     const std::span<const float> srow = scores.row(0);
     for (std::size_t j = 0; j + 1 < n; ++j) {
-      if (!corpus_.live(j)) continue;
+      if (!corpus_->live(j)) continue;
       Verdict v;
-      v.matched = corpus_.name(j);
+      v.matched = corpus_->name(j);
       v.corpus_index = j;
       v.similarity = srow[j];
       v.flagged = srow[j] > options_.scorer.delta;
@@ -275,7 +400,7 @@ std::vector<ScreenReport> AuditService::screen_batch(
     // parallel. A malformed design lands a Diagnostic in its own report
     // and never touches its batch-mates.
     std::vector<tensor::Matrix> embeddings(batch.size());
-    corpus_.fan_out(batch.size(), [&](std::size_t i) {
+    corpus_->fan_out(batch.size(), [&](std::size_t i) {
       static thread_local tensor::Tape tape;
       AuditItem& item = batch[i];
       reports[i].submission.name = item.name;
@@ -302,8 +427,8 @@ std::vector<ScreenReport> AuditService::screen_batch(
       try {
         const bool embedded = !embeddings[i].empty();
         if (embedded) {
-          commit_one(batch[i].name, embeddings[i], reports[i],
-                     on_commit ? nullptr : &reports, i);
+          commit_one(first_ticket + i, batch[i].name, embeddings[i],
+                     reports[i], on_commit ? nullptr : &reports, i);
         }
         // Hand off inside the commit slot: on_commit invocations are
         // mutually exclusive across consumers and arrive in ticket
@@ -338,15 +463,136 @@ std::vector<Verdict> AuditService::top_k(const std::string& name,
   GNN4IP_ENSURE(it != index_by_name_.end(),
                 "AuditService::top_k: '" + name + "' is not resident");
   std::vector<Verdict> result;
-  for (const core::PairScore& p : corpus_.top_k(it->second, k)) {
+  for (const core::PairScore& p : corpus_->top_k(it->second, k)) {
     Verdict v;
-    v.matched = corpus_.name(p.b);
+    v.matched = corpus_->name(p.b);
     v.corpus_index = p.b;
     v.similarity = p.similarity;
     v.flagged = p.similarity > options_.scorer.delta;
     result.push_back(std::move(v));
   }
   return result;
+}
+
+void AuditService::save_corpus(const std::string& dir) {
+  // One serialized commit: the turnstile guarantees every earlier
+  // ticket's admission is fully in the snapshot and every later one is
+  // fully absent — the same consistency point an AdmissionLog sees.
+  const std::size_t ticket = reserve_tickets(1);
+  commit_begin(ticket);
+  try {
+    std::shared_lock<std::shared_mutex> state(state_mu_);
+    // The v1 service file is line-oriented; a name holding a newline
+    // cannot round-trip, so refuse to write a snapshot that a later
+    // load_corpus would misparse.
+    for (const auto& [nm, idx] : index_by_name_) {
+      if (nm.find('\n') != std::string::npos) {
+        throw core::SnapshotIoError(
+            "resident name contains a newline; not representable in the "
+            "v1 service state file");
+      }
+    }
+    corpus_->save(dir, model_fingerprint_);
+    std::vector<std::pair<std::size_t, std::string>> entries;
+    entries.reserve(index_by_name_.size());
+    for (const auto& [nm, idx] : index_by_name_) entries.emplace_back(idx, nm);
+    std::sort(entries.begin(), entries.end());
+    std::vector<std::string> pins(pinned_.begin(), pinned_.end());
+    std::sort(pins.begin(), pins.end());
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / core::kServiceFileName;
+    std::ofstream os(path);
+    if (!os) {
+      throw core::SnapshotIoError("cannot open '" + path.string() +
+                                  "' for writing");
+    }
+    os << core::kServiceMagic << " v" << core::kServiceFormatVersion << '\n';
+    os << "resident " << entries.size() << '\n';
+    for (const auto& [idx, nm] : entries) {
+      os << "entry " << idx << ' ' << nm << '\n';
+    }
+    os << "pins " << pins.size() << '\n';
+    for (const std::string& p : pins) os << "pin " << p << '\n';
+    os << "end\n";
+    os.flush();
+    if (!os) {
+      throw core::SnapshotIoError("write to '" + path.string() + "' failed");
+    }
+    if (admission_log_) admission_log_->checkpoint(dir);
+  } catch (...) {
+    commit_end();
+    throw;
+  }
+  commit_end();
+}
+
+void AuditService::load_corpus(const std::string& dir) {
+  const std::size_t ticket = reserve_tickets(1);
+  commit_begin(ticket);
+  try {
+    // Strong guarantee: parse and validate everything into locals; the
+    // service's own state is only touched in the no-throw swap below.
+    ServiceState persisted = read_service_state(
+        std::filesystem::path(dir) / core::kServiceFileName);
+    auto fresh = std::make_unique<core::ShardedCorpus>(
+        /*num_shards=*/1, options_.scorer, options_.shard_budget);
+    fresh->restore(dir, model_fingerprint_);
+    // Cross-validate the service file against the restored corpus: the
+    // name index must be a bijection onto the live rows.
+    if (persisted.entries.size() != fresh->live_count()) {
+      throw core::SnapshotManifestError(
+          "service state lists " + std::to_string(persisted.entries.size()) +
+          " resident entries but the corpus snapshot holds " +
+          std::to_string(fresh->live_count()) + " live rows");
+    }
+    std::unordered_map<std::string, std::size_t> index;
+    index.reserve(persisted.entries.size());
+    for (const auto& [idx, nm] : persisted.entries) {
+      if (idx >= fresh->size() || !fresh->live(idx)) {
+        throw core::SnapshotManifestError(
+            "service state entry '" + nm + "' points at index " +
+            std::to_string(idx) + ", which is not a live corpus row");
+      }
+      if (fresh->name(idx) != nm) {
+        throw core::SnapshotManifestError(
+            "service state names index " + std::to_string(idx) + " '" + nm +
+            "' but the corpus row is named '" + fresh->name(idx) + "'");
+      }
+      if (!index.emplace(nm, idx).second) {
+        throw core::SnapshotManifestError(
+            "service state lists resident name '" + nm + "' twice");
+      }
+    }
+    std::unordered_set<std::string> pins;
+    pins.reserve(persisted.pins.size());
+    for (const std::string& p : persisted.pins) {
+      if (index.count(p) == 0) {
+        throw core::SnapshotManifestError("service state pins '" + p +
+                                          "', which is not resident");
+      }
+      pins.insert(p);
+    }
+    // Recency rebuild order: ascending global index. In a snapshot,
+    // index order IS admission order (admits append, replacements
+    // re-append, compaction preserves relative order), so touching
+    // survivors in this order reproduces exactly the recency a
+    // never-restarted service would hold — evictions after a warm
+    // restart pick the same victims.
+    std::sort(persisted.entries.begin(), persisted.entries.end());
+    std::unique_lock<std::shared_mutex> state(state_mu_);
+    for (const auto& [nm, idx] : index_by_name_) policy_->erase(nm);
+    corpus_ = std::move(fresh);
+    index_by_name_ = std::move(index);
+    pinned_ = std::move(pins);
+    // The restored corpus adopts the snapshot's shard count; keep the
+    // options in sync so callers introspect the truth.
+    options_.num_shards = corpus_->num_shards();
+    for (const auto& [idx, nm] : persisted.entries) policy_->touch(nm);
+  } catch (...) {
+    commit_end();
+    throw;
+  }
+  commit_end();
 }
 
 void AuditService::pin(const std::string& name) {

@@ -57,6 +57,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/admission_log.h"
 #include "audit/eviction.h"
 #include "audit/pipeline.h"
 #include "core/sharded_corpus.h"
@@ -215,6 +216,44 @@ class AuditService {
   [[nodiscard]] std::vector<Verdict> top_k(const std::string& name,
                                            std::size_t k) const;
 
+  // ---- Durable corpus (snapshot + warm restart) -------------------------
+  /// Write the resident corpus (one binary file per shard + manifest,
+  /// core::ShardedCorpus::save) and the service state (pins + name
+  /// index) to directory `dir`. Runs as one serialized commit under the
+  /// admission turnstile, so the snapshot is always a consistent
+  /// post-commit state: every earlier ticket is fully in it, every
+  /// later ticket fully absent. The manifest records this service's
+  /// model fingerprint; the AdmissionLog (if set) gets a checkpoint()
+  /// inside the same commit. Safe concurrently with screening
+  /// consumers and producers.
+  void save_corpus(const std::string& dir);
+
+  /// Warm restart: replace the resident corpus, name index, pins, and
+  /// eviction recency with a snapshot written by save_corpus(). The
+  /// snapshot must have been written against a model with this
+  /// service's fingerprint (core::SnapshotFingerprintError otherwise);
+  /// every malformed-snapshot case throws a distinct typed
+  /// core::SnapshotError and leaves the service unchanged. Post-load
+  /// screening and top_k are bit-identical to the never-restarted
+  /// service — rows round-trip as exact bytes and the restored corpus
+  /// adopts the snapshot's shard count (options().num_shards follows).
+  /// Runs as one serialized commit, like save_corpus().
+  void load_corpus(const std::string& dir);
+
+  /// Fingerprint of the owned model (gnn::model_fingerprint), as
+  /// recorded in snapshot manifests.
+  [[nodiscard]] const std::string& model_fingerprint() const {
+    return model_fingerprint_;
+  }
+
+  /// Install the admission log (see audit/admission_log.h): append()
+  /// fires inside every admission's commit slot, checkpoint() inside
+  /// every save_corpus(). Configuration-time: set it before the first
+  /// submit/screen, not while consumers stream. Pass nullptr to detach.
+  void set_admission_log(std::shared_ptr<AdmissionLog> log) {
+    admission_log_ = std::move(log);
+  }
+
   // ---- Pinning & introspection ------------------------------------------
   void pin(const std::string& name);
   void unpin(const std::string& name);
@@ -223,9 +262,9 @@ class AuditService {
   /// Current corpus index of a resident entry (kNoIndex when absent).
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
 
-  [[nodiscard]] std::size_t resident() const { return corpus_.live_count(); }
+  [[nodiscard]] std::size_t resident() const { return corpus_->live_count(); }
   [[nodiscard]] const std::string& name(std::size_t i) const {
-    return corpus_.name(i);
+    return corpus_->name(i);
   }
   [[nodiscard]] float delta() const { return options_.scorer.delta; }
   /// Configuration-time knob: not synchronized against in-flight
@@ -234,8 +273,9 @@ class AuditService {
   [[nodiscard]] const AuditOptions& options() const { return options_; }
   [[nodiscard]] gnn::Hw2Vec& model() { return model_; }
   /// The resident sharded cache (tests and benches compare against the
-  /// raw core scoring paths through this).
-  [[nodiscard]] const core::ShardedCorpus& corpus() const { return corpus_; }
+  /// raw core scoring paths through this). The reference is replaced —
+  /// not mutated — by load_corpus(); re-fetch it after a warm restart.
+  [[nodiscard]] const core::ShardedCorpus& corpus() const { return *corpus_; }
 
  private:
   /// Block until `ticket` is the next to commit (turnstile entry).
@@ -243,14 +283,14 @@ class AuditService {
   /// Release the turnstile to the next ticket.
   void commit_end();
   /// Commit one accepted submission under the turnstile (caller holds
-  /// the commit slot): admit, score vs the current residents, evict,
-  /// compact, and write the report. `prior` (when non-null) is the
-  /// already-committed prefix of this batch whose indices must chase
-  /// this commit's compaction mapping (single-consumer screen()
-  /// contract).
-  void commit_one(const std::string& name, const tensor::Matrix& embedding,
-                  ScreenReport& report, std::vector<ScreenReport>* prior,
-                  std::size_t prior_count);
+  /// the commit slot for `ticket`): admit, score vs the current
+  /// residents, evict, compact, log the admission, and write the
+  /// report. `prior` (when non-null) is the already-committed prefix of
+  /// this batch whose indices must chase this commit's compaction
+  /// mapping (single-consumer screen() contract).
+  void commit_one(std::size_t ticket, const std::string& name,
+                  const tensor::Matrix& embedding, ScreenReport& report,
+                  std::vector<ScreenReport>* prior, std::size_t prior_count);
 
   /// Admit an embedding under `name`, replacing any resident row of the
   /// same name. Returns the (pre-compaction) row index. Caller holds
@@ -266,9 +306,16 @@ class AuditService {
 
   AuditOptions options_;
   gnn::Hw2Vec model_;
+  /// Computed once at construction; snapshots record and validate it.
+  std::string model_fingerprint_;
   Pipeline pipeline_;
-  core::ShardedCorpus corpus_;
+  /// Owned indirectly so load_corpus() can build + validate a fresh
+  /// corpus off to the side and swap it in only once every typed check
+  /// has passed (ShardedCorpus itself is immovable — it owns mutexes).
+  std::unique_ptr<core::ShardedCorpus> corpus_;
   std::unique_ptr<EvictionPolicy> policy_;
+  /// Replay seam (audit/admission_log.h); may be null.
+  std::shared_ptr<AdmissionLog> admission_log_;
   util::BoundedQueue<AuditItem> queue_;
 
   /// Guards index_by_name_/pinned_/policy_: exclusive inside a commit

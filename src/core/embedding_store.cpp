@@ -1,7 +1,11 @@
 #include "core/embedding_store.h"
 
 #include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
+#include "core/snapshot_format.h"
 #include "util/contract.h"
 
 namespace gnn4ip::core {
@@ -66,6 +70,103 @@ std::vector<std::size_t> EmbeddingStore::compact() {
   dead_.assign(next, false);
   live_count_ = next;
   return mapping;
+}
+
+namespace {
+
+/// Names past this length are treated as corruption: a flipped bit in
+/// a length prefix must not turn into a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxNameLength = 1u << 20;
+
+}  // namespace
+
+void EmbeddingStore::save(std::ostream& os) const {
+  // Fixed-offset header (docs/FORMATS.md): magic, version, byte-order
+  // mark, dim, row count, live count — then the float block starts at
+  // byte 40, 8-byte-aligned, so a loader may mmap it in place.
+  write_bytes(os, kShardMagic, sizeof(kShardMagic));
+  write_u32(os, kShardFormatVersion);
+  write_u32(os, kByteOrderMark);
+  write_u64(os, dim_);
+  write_u64(os, names_.size());
+  write_u64(os, live_count_);
+  write_bytes(os, data_.data(), data_.size() * sizeof(float));
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const std::uint8_t flag = dead_[i] ? 0 : 1;
+    write_bytes(os, &flag, 1);
+  }
+  for (const std::string& name : names_) {
+    write_u64(os, name.size());
+    write_bytes(os, name.data(), name.size());
+  }
+}
+
+EmbeddingStore EmbeddingStore::load(std::istream& is,
+                                    std::size_t expected_dim) {
+  char magic[sizeof(kShardMagic)] = {};
+  read_bytes(is, magic, sizeof(magic), "shard magic");
+  if (std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0) {
+    throw SnapshotMagicError(
+        "not a gnn4ip shard file (missing G4IPSHRD magic)");
+  }
+  const std::uint32_t version = read_u32(is, "shard format version");
+  if (version != kShardFormatVersion) {
+    throw SnapshotVersionError(
+        "unsupported shard format version " + std::to_string(version) +
+        "; this build reads v" + std::to_string(kShardFormatVersion));
+  }
+  const std::uint32_t bom = read_u32(is, "shard byte-order mark");
+  if (bom != kByteOrderMark) {
+    throw SnapshotByteOrderError(
+        "shard file was written on a host with a different byte order");
+  }
+  const std::uint64_t dim = read_u64(is, "shard dim");
+  const std::uint64_t rows = read_u64(is, "shard row count");
+  const std::uint64_t live = read_u64(is, "shard live count");
+  if (expected_dim != 0 && rows != 0 && dim != expected_dim) {
+    throw SnapshotDimError("shard dim " + std::to_string(dim) +
+                           " does not match the expected dim " +
+                           std::to_string(expected_dim) + " (dim drift)");
+  }
+  if (live > rows || (rows != 0 && dim == 0)) {
+    throw SnapshotManifestError(
+        "shard header is inconsistent (live count " + std::to_string(live) +
+        " of " + std::to_string(rows) + " rows, dim " + std::to_string(dim) +
+        ")");
+  }
+  EmbeddingStore store;
+  store.dim_ = dim;
+  store.data_.resize(rows * dim);
+  read_bytes(is, store.data_.data(), store.data_.size() * sizeof(float),
+             "shard row block");
+  store.dead_.resize(rows);
+  std::size_t counted_live = 0;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    std::uint8_t flag = 0;
+    read_bytes(is, &flag, 1, "shard live flags");
+    store.dead_[i] = flag == 0;
+    counted_live += flag != 0 ? 1 : 0;
+  }
+  if (counted_live != live) {
+    throw SnapshotManifestError(
+        "shard header declares " + std::to_string(live) +
+        " live rows but the flags mark " + std::to_string(counted_live));
+  }
+  store.live_count_ = counted_live;
+  store.names_.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    const std::uint64_t length = read_u64(is, "shard name length");
+    if (length > kMaxNameLength) {
+      throw SnapshotTruncatedError(
+          "implausible name length " + std::to_string(length) +
+          " in shard name table (corrupt file)");
+    }
+    std::string name(length, '\0');
+    read_bytes(is, name.data(), length, "shard name table");
+    store.names_.push_back(std::move(name));
+  }
+  expect_eof(is, "shard file");
+  return store;
 }
 
 tensor::Matrix EmbeddingStore::embedding_matrix() const {

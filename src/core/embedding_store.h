@@ -11,9 +11,16 @@
 // unit. PairwiseScorer wraps exactly one store (the single-shard view
 // kept for tests and benches); ShardedCorpus owns K of them and merges
 // across; audit::AuditService sits on top of the latter.
+//
+// The store is also the unit of persistence: save()/load() round-trip
+// the rows, names, and tombstones through the binary shard format of
+// core/snapshot_format.h (byte-level spec in docs/FORMATS.md). Floats
+// are written as their exact bytes, so a loaded store scores
+// bit-identically to the one that was saved.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <limits>
 #include <span>
 #include <string>
@@ -65,6 +72,19 @@ class EmbeddingStore {
   /// The stored embeddings as an N×D row matrix (copy; prefer rows()/
   /// row() when a view suffices).
   [[nodiscard]] tensor::Matrix embedding_matrix() const;
+
+  // ---- Persistence (binary shard format v1) -----------------------------
+  /// Write the store — header, exact float bytes, live flags, name
+  /// table — to `os` (caller opens the stream in binary mode).
+  void save(std::ostream& os) const;
+
+  /// Reconstruct a store saved by save(). With `expected_dim` > 0 the
+  /// on-disk dimensionality must match it. Throws the typed errors of
+  /// snapshot_format.h: SnapshotMagicError, SnapshotVersionError,
+  /// SnapshotByteOrderError, SnapshotDimError, SnapshotTruncatedError,
+  /// SnapshotManifestError (header/payload disagreement).
+  [[nodiscard]] static EmbeddingStore load(std::istream& is,
+                                           std::size_t expected_dim = 0);
 
  private:
   std::size_t dim_ = 0;

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
+#include "core/snapshot_format.h"
 #include "util/contract.h"
 #include "util/thread_pool.h"
 
@@ -377,6 +381,269 @@ void ShardedCorpus::fan_out(
   // 0 = shared pool, 1 = inline — util::parallel_for already does the
   // right (transient-pool-free) thing for both.
   util::parallel_for(count, options_.num_threads, fn);
+}
+
+namespace {
+
+/// Everything the text manifest records, parsed and range-checked
+/// before any in-memory state is touched.
+struct ManifestData {
+  std::string fingerprint;
+  std::size_t dim = 0;
+  std::size_t shards = 0;
+  std::vector<std::size_t> order;  // global index -> shard id
+};
+
+ManifestData parse_manifest(const std::filesystem::path& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw SnapshotIoError("cannot open corpus manifest '" + path.string() +
+                          "' for reading");
+  }
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw SnapshotTruncatedError("corpus manifest is empty");
+  }
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    std::string version;
+    ls >> magic >> version;
+    if (magic != kManifestMagic) {
+      throw SnapshotMagicError("not a corpus manifest (missing '" +
+                               std::string(kManifestMagic) + "' magic)");
+    }
+    const std::string expected =
+        "v" + std::to_string(kManifestFormatVersion);
+    if (version != expected) {
+      throw SnapshotVersionError("unsupported corpus manifest version '" +
+                                 version + "'; this build reads " + expected);
+    }
+  }
+  ManifestData manifest;
+  const auto next_line = [&](const char* field) -> std::istringstream {
+    if (!std::getline(is, line)) {
+      throw SnapshotTruncatedError(
+          std::string("corpus manifest truncated before the ") + field +
+          " line");
+    }
+    return std::istringstream(line);
+  };
+  {
+    std::istringstream ls = next_line("model");
+    std::string tag;
+    if (!(ls >> tag >> manifest.fingerprint) || tag != "model") {
+      throw SnapshotManifestError("bad manifest model line: '" + line + "'");
+    }
+  }
+  {
+    std::istringstream ls = next_line("placement");
+    std::string tag;
+    std::string scheme;
+    if (!(ls >> tag >> scheme) || tag != "placement") {
+      throw SnapshotManifestError("bad manifest placement line: '" + line +
+                                  "'");
+    }
+    if (scheme != kPlacementScheme) {
+      throw SnapshotManifestError(
+          "unknown placement scheme '" + scheme + "'; this build places by " +
+          kPlacementScheme);
+    }
+  }
+  {
+    std::istringstream ls = next_line("dim");
+    std::string tag;
+    if (!(ls >> tag >> manifest.dim) || tag != "dim") {
+      throw SnapshotManifestError("bad manifest dim line: '" + line + "'");
+    }
+  }
+  {
+    std::istringstream ls = next_line("shards");
+    std::string tag;
+    if (!(ls >> tag >> manifest.shards) || tag != "shards" ||
+        manifest.shards == 0) {
+      throw SnapshotManifestError("bad manifest shards line: '" + line + "'");
+    }
+  }
+  std::size_t entries = 0;
+  {
+    std::istringstream ls = next_line("entries");
+    std::string tag;
+    if (!(ls >> tag >> entries) || tag != "entries") {
+      throw SnapshotManifestError("bad manifest entries line: '" + line +
+                                  "'");
+    }
+  }
+  {
+    std::istringstream ls = next_line("order");
+    std::string tag;
+    if (!(ls >> tag) || tag != "order") {
+      throw SnapshotManifestError("bad manifest order line: '" + line + "'");
+    }
+    manifest.order.reserve(entries);
+    std::size_t shard = 0;
+    while (ls >> shard) {
+      if (shard >= manifest.shards) {
+        throw SnapshotManifestError(
+            "manifest order references shard " + std::to_string(shard) +
+            " but only " + std::to_string(manifest.shards) +
+            " shards are declared");
+      }
+      manifest.order.push_back(shard);
+    }
+    if (manifest.order.size() != entries) {
+      throw SnapshotManifestError(
+          "manifest declares " + std::to_string(entries) +
+          " entries but the order line lists " +
+          std::to_string(manifest.order.size()));
+    }
+  }
+  if (!std::getline(is, line) || line != "end") {
+    throw SnapshotTruncatedError(
+        "corpus manifest is missing its 'end' sentinel (truncated?)");
+  }
+  return manifest;
+}
+
+}  // namespace
+
+void ShardedCorpus::save(const std::string& dir,
+                         std::string_view model_fingerprint) const {
+  // Epoch exclusive: every operation (reads, admissions, compaction)
+  // holds the epoch shared, so an exclusive hold is a full quiesce of
+  // the corpus — the snapshot is one consistent instant.
+  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+  const std::filesystem::path root(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(root, ec);
+  if (ec) {
+    throw SnapshotIoError("cannot create snapshot directory '" + dir +
+                          "': " + ec.message());
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::filesystem::path path = root / shard_file_name(s);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw SnapshotIoError("cannot open '" + path.string() +
+                            "' for writing");
+    }
+    shards_[s].save(os);
+    if (!os) {
+      throw SnapshotIoError("short write to '" + path.string() + "'");
+    }
+  }
+  const std::filesystem::path manifest_path = root / kManifestFileName;
+  std::ofstream os(manifest_path, std::ios::trunc);
+  if (!os) {
+    throw SnapshotIoError("cannot open '" + manifest_path.string() +
+                          "' for writing");
+  }
+  os << kManifestMagic << " v" << kManifestFormatVersion << '\n';
+  os << "model " << model_fingerprint << '\n';
+  os << "placement " << kPlacementScheme << '\n';
+  os << "dim " << dim_ << '\n';
+  os << "shards " << shards_.size() << '\n';
+  os << "entries " << entries_.size() << '\n';
+  os << "order";
+  for (const EntryRef& e : entries_) os << ' ' << e.shard;
+  os << '\n';
+  os << "end\n";
+  if (!os) {
+    throw SnapshotIoError("short write to '" + manifest_path.string() + "'");
+  }
+}
+
+void ShardedCorpus::restore(const std::string& dir,
+                            std::string_view expected_fingerprint) {
+  const std::filesystem::path root(dir);
+  const ManifestData manifest = parse_manifest(root / kManifestFileName);
+  if (!expected_fingerprint.empty() &&
+      manifest.fingerprint != expected_fingerprint) {
+    throw SnapshotFingerprintError(
+        "snapshot was written against model fingerprint " +
+        manifest.fingerprint + " but this corpus expects " +
+        std::string(expected_fingerprint) +
+        " — refusing to score rows from a different embedder");
+  }
+  // Load and cross-check everything into locals first: a snapshot that
+  // fails any typed check leaves the in-memory corpus untouched.
+  std::vector<EmbeddingStore> stores;
+  stores.reserve(manifest.shards);
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    const std::filesystem::path path = root / shard_file_name(s);
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+      if (!std::filesystem::exists(path)) {
+        throw SnapshotManifestError(
+            "manifest declares " + std::to_string(manifest.shards) +
+            " shards but '" + shard_file_name(s) +
+            "' is missing (shard-count mismatch?)");
+      }
+      throw SnapshotIoError("cannot open '" + path.string() +
+                            "' for reading");
+    }
+    stores.push_back(EmbeddingStore::load(is, manifest.dim));
+  }
+  // The manifest's global order must tally with the shard files: every
+  // shard row is referenced exactly once, in shard-local insertion
+  // order, and the recorded shard must match what placement() derives
+  // from the row's name — a poisoned or mixed-up snapshot fails loudly.
+  std::vector<std::vector<std::size_t>> globals(manifest.shards);
+  std::vector<EntryRef> entries;
+  entries.reserve(manifest.order.size());
+  for (std::size_t g = 0; g < manifest.order.size(); ++g) {
+    const std::size_t s = manifest.order[g];
+    const std::size_t local = globals[s].size();
+    if (local >= stores[s].size()) {
+      throw SnapshotManifestError(
+          "manifest order assigns more rows to shard " + std::to_string(s) +
+          " than its file holds (" + std::to_string(stores[s].size()) + ")");
+    }
+    if (placement(stores[s].name(local), manifest.shards) != s) {
+      throw SnapshotManifestError(
+          "row '" + stores[s].name(local) + "' is recorded in shard " +
+          std::to_string(s) + " but places in shard " +
+          std::to_string(placement(stores[s].name(local), manifest.shards)) +
+          " (placement drift)");
+    }
+    globals[s].push_back(g);
+    entries.push_back({s, local});
+  }
+  std::size_t live = 0;
+  for (std::size_t s = 0; s < manifest.shards; ++s) {
+    if (stores[s].size() != 0 && stores[s].dim() != manifest.dim) {
+      throw SnapshotDimError(
+          "shard " + std::to_string(s) + " has dim " +
+          std::to_string(stores[s].dim()) + " but the manifest declares " +
+          std::to_string(manifest.dim) + " (dim drift)");
+    }
+    if (globals[s].size() != stores[s].size()) {
+      throw SnapshotManifestError(
+          "shard " + std::to_string(s) + " holds " +
+          std::to_string(stores[s].size()) +
+          " rows but the manifest order references " +
+          std::to_string(globals[s].size()));
+    }
+    live += stores[s].live_count();
+  }
+  // Swap in under the epoch: identical discipline to compact(), the
+  // other whole-corpus rewrite.
+  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+  std::unique_lock<std::shared_mutex> index(index_mu_);
+  shards_ = std::move(stores);
+  entries_ = std::move(entries);
+  globals_ = std::move(globals);
+  dim_ = manifest.dim;
+  live_count_ = live;
+  while (stripes_.size() < shards_.size()) {
+    stripes_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  stripes_.resize(shards_.size());
+}
+
+std::string ShardedCorpus::snapshot_fingerprint(const std::string& dir) {
+  return parse_manifest(std::filesystem::path(dir) / kManifestFileName)
+      .fingerprint;
 }
 
 std::vector<PairScore> ShardedCorpus::flag(float delta) const {

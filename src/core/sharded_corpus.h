@@ -153,6 +153,34 @@ class ShardedCorpus {
     return flag(options_.delta);
   }
 
+  // ---- Persistence (snapshot directory: manifest + one file per shard) --
+  /// Write the corpus to directory `dir` (created if absent): one
+  /// binary shard file per shard plus a text manifest recording the
+  /// shard count, the placement scheme, the global index order, and
+  /// `model_fingerprint` (the embedder that produced these rows — see
+  /// gnn::model_fingerprint). Takes the global epoch exclusively, so a
+  /// snapshot is always a fully-admitted, fully-compacted-or-not state,
+  /// never a half-applied one. Throws SnapshotIoError when files cannot
+  /// be written.
+  void save(const std::string& dir, std::string_view model_fingerprint) const;
+
+  /// Replace this corpus's contents with a snapshot written by save().
+  /// Adopts the snapshot's shard count and dim; keeps the configured
+  /// options() and shard_budget(). With a non-empty
+  /// `expected_fingerprint`, a snapshot recorded against a different
+  /// embedder is rejected (SnapshotFingerprintError). All parsing and
+  /// validation happens before the corpus is touched, so on any typed
+  /// SnapshotError the in-memory state is unchanged. Not safe
+  /// concurrently with admissions (callers quiesce first — the audit
+  /// layer runs it as a serialized commit).
+  void restore(const std::string& dir, std::string_view expected_fingerprint);
+
+  /// The model fingerprint recorded in a snapshot directory's manifest
+  /// (validated for magic/version only) — lets a deployment check
+  /// compatibility before committing to a full restore.
+  [[nodiscard]] static std::string snapshot_fingerprint(
+      const std::string& dir);
+
   /// Run fn(i) for i in [0, count) on this corpus's worker resolution:
   /// an explicit num_threads > 1 uses one lazily-spawned owned pool
   /// (screening is a hot loop — no transient pool spawn/join per call),

@@ -1,0 +1,54 @@
+#include "core/snapshot_format.h"
+
+#include <istream>
+#include <ostream>
+
+namespace gnn4ip::core {
+
+std::string shard_file_name(std::size_t shard) {
+  return "shard-" + std::to_string(shard) + ".bin";
+}
+
+void write_u32(std::ostream& os, std::uint32_t value) {
+  write_bytes(os, &value, sizeof(value));
+}
+
+void write_u64(std::ostream& os, std::uint64_t value) {
+  write_bytes(os, &value, sizeof(value));
+}
+
+void write_bytes(std::ostream& os, const void* data, std::size_t size) {
+  os.write(static_cast<const char*>(data),
+           static_cast<std::streamsize>(size));
+}
+
+std::uint32_t read_u32(std::istream& is, const char* field) {
+  std::uint32_t value = 0;
+  read_bytes(is, &value, sizeof(value), field);
+  return value;
+}
+
+std::uint64_t read_u64(std::istream& is, const char* field) {
+  std::uint64_t value = 0;
+  read_bytes(is, &value, sizeof(value), field);
+  return value;
+}
+
+void read_bytes(std::istream& is, void* data, std::size_t size,
+                const char* field) {
+  is.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<std::size_t>(is.gcount()) != size) {
+    throw SnapshotTruncatedError(
+        std::string("snapshot stream truncated while reading ") + field);
+  }
+}
+
+void expect_eof(std::istream& is, const char* artifact) {
+  if (is.peek() != std::istream::traits_type::eof()) {
+    throw SnapshotTruncatedError(std::string(artifact) +
+                                 ": trailing bytes past the declared "
+                                 "payload (mismatched or corrupt file)");
+  }
+}
+
+}  // namespace gnn4ip::core

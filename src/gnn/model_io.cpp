@@ -1,5 +1,6 @@
 #include "gnn/model_io.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -132,6 +133,27 @@ Hw2Vec load_model_file(const std::string& path) {
     throw std::runtime_error("cannot open '" + path + "' for reading");
   }
   return load_model(is);
+}
+
+std::string model_fingerprint(Hw2Vec& model) {
+  // Hash the exact v2 text serialization: it already pins the config
+  // and every weight to 9 significant digits (the exact-float
+  // round-trip), so equal fingerprints mean bit-equal embeddings.
+  std::ostringstream os;
+  save_model(os, model);
+  const std::string bytes = os.str();
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, 64-bit
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string hex(16, '0');
+  for (std::size_t i = 0; i < 16; ++i) {
+    hex[15 - i] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return hex;
 }
 
 }  // namespace gnn4ip::gnn

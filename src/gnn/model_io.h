@@ -37,4 +37,12 @@ void save_model_file(const std::string& path, Hw2Vec& model);
 [[nodiscard]] Hw2Vec load_model(std::istream& is);
 [[nodiscard]] Hw2Vec load_model_file(const std::string& path);
 
+/// Deterministic fingerprint of a model's config + weights: FNV-1a over
+/// the exact v2 serialization, as 16 lowercase hex digits. Two models
+/// fingerprint equal iff they save_model() identically, so embeddings
+/// (and every score derived from them) agree bit-for-bit — corpus
+/// snapshots record this to refuse loading rows produced by a different
+/// embedder (core/snapshot_format.h).
+[[nodiscard]] std::string model_fingerprint(Hw2Vec& model);
+
 }  // namespace gnn4ip::gnn
