@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <future>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "common.h"
 #include "core/gnn4ip.h"
 #include "core/pairwise_scorer.h"
+#include "core/sharded_corpus.h"
 #include "data/corpus.h"
 #include "data/rtl_designs.h"
 #include "train/trainer.h"
@@ -450,6 +453,121 @@ void BM_SnapshotRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_SnapshotRoundTrip)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Retrieval at corpus scale: the int8 prefilter tier. ---
+//
+// The 64 real designs cap what the embedding front end can feed a bench
+// iteration, but the retrieval tier's whole point is sub-linear exact
+// work at 10k+ resident rows. So these benches screen a synthetic-
+// variant corpus: real anchor embeddings (the RTL corpus plus a handful
+// of data::obfuscate netlist variants) blended pairwise with
+// deterministic noise — corpus-shaped geometry (clusters + spread) at
+// whatever N the bench asks for, reproducible run to run.
+
+std::vector<float> matrix_row(const tensor::Matrix& m) {
+  const std::span<const float> row = m.row(0);
+  return {row.begin(), row.end()};
+}
+
+const std::vector<std::vector<float>>& anchor_embeddings() {
+  static const std::vector<std::vector<float>> anchors = [] {
+    gnn::Hw2Vec model;
+    std::vector<std::vector<float>> out;
+    for (const train::GraphEntry& e : scoring_corpus()) {
+      out.push_back(matrix_row(model.embed_inference(e.tensors)));
+    }
+    const data::Netlist base = data::build_netlist_family("nl_alu4");
+    util::Rng rng(11);
+    for (int v = 0; v < 8; ++v) {
+      out.push_back(matrix_row(model.embed_inference(gnn::featurize(
+          dfg::extract_dfg(data::obfuscate(base, {}, rng).to_verilog())))));
+    }
+    return out;
+  }();
+  return anchors;
+}
+
+void fill_variant_corpus(core::ShardedCorpus& corpus, std::size_t rows,
+                         std::uint64_t seed) {
+  const std::vector<std::vector<float>>& anchors = anchor_embeddings();
+  const std::size_t d = anchors.front().size();
+  float scale = 0.0F;
+  for (const float x : anchors.front()) scale += std::abs(x);
+  scale /= static_cast<float>(d);
+  util::Rng rng(seed);
+  tensor::Matrix row(1, d);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::vector<float>& a = anchors[rng.next_below(anchors.size())];
+    const std::vector<float>& b = anchors[rng.next_below(anchors.size())];
+    const float w = rng.uniform(0.0F, 1.0F);
+    for (std::size_t k = 0; k < d; ++k) {
+      row.at(0, k) = w * a[k] + (1.0F - w) * b[k] +
+                     scale * static_cast<float>(rng.normal());
+    }
+    corpus.add("variant#" + std::to_string(i), row);
+  }
+}
+
+// All-pairs flag() over a 1k-row variant corpus, exhaustive (Arg 0) vs
+// int8-bound-gated (Arg 1). Output is bit-identical either way
+// (kernel_test pins it); the axis is pure retrieval cost.
+void BM_QuantPrefilter(benchmark::State& state) {
+  core::ScorerOptions options;
+  options.num_threads = 1;
+  options.int8_prefilter = state.range(0) != 0;
+  core::ShardedCorpus corpus(1, options);
+  fill_variant_corpus(corpus, 1024, /*seed=*/5);
+  std::size_t flagged = 0;
+  for (auto _ : state) {
+    const std::vector<core::PairScore> pairs = corpus.flag(0.5F);
+    flagged = pairs.size();
+    benchmark::DoNotOptimize(flagged);
+  }
+  state.counters["rows"] = static_cast<double>(corpus.size());
+  state.counters["flagged"] = static_cast<double>(flagged);
+  state.counters["prefilter"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_QuantPrefilter)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental screening against a 10k-row resident corpus (4 shards,
+// shared pool): a batch of 8 incoming rows through screen_new_rows,
+// exhaustive (Arg 0) vs prefiltered (Arg 1). The scanned/rescored
+// counters expose how much exact work the bounds pruned; flagged/best
+// outputs are bit-identical across the two Args.
+void BM_ShardedScreen10k(benchmark::State& state) {
+  constexpr std::size_t kResident = 10'000;
+  constexpr std::size_t kBatch = 8;
+  core::ScorerOptions options;
+  options.int8_prefilter = state.range(0) != 0;
+  core::ShardedCorpus corpus(4, options);
+  fill_variant_corpus(corpus, kResident + kBatch, /*seed=*/5);
+  std::size_t scanned = 0;
+  std::size_t rescored = 0;
+  for (auto _ : state) {
+    const std::vector<core::ScreenRow> rows =
+        corpus.screen_new_rows(kResident, 0.5F);
+    scanned = 0;
+    rescored = 0;
+    for (const core::ScreenRow& row : rows) {
+      scanned += row.scanned;
+      rescored += row.rescored;
+    }
+    benchmark::DoNotOptimize(rescored);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(scanned) * state.iterations());
+  state.counters["resident"] = static_cast<double>(kResident);
+  state.counters["batch"] = static_cast<double>(kBatch);
+  state.counters["scanned"] = static_cast<double>(scanned);
+  state.counters["rescored"] = static_cast<double>(rescored);
+  state.counters["prefilter"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ShardedScreen10k)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BaselineWl(benchmark::State& state) {

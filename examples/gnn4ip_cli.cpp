@@ -8,6 +8,7 @@
 //   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
 //              [--delta <d>] [--top-k <k>] [--max-resident <n>]
 //              [--shards <k>] [--threads <n>] [--async] [--consumers <n>]
+//              [--kernel <scalar|avx2|neon|auto>] [--prefilter]
 //              [--load-corpus <dir>] [--save-corpus <dir>]
 //              <design.v> [<design2.v> ...]
 //                                                 screen designs against
@@ -25,6 +26,13 @@
 // and --consumers (implies --async) the screening-consumer count; each
 // flag takes precedence over its environment knob (GNN4IP_THREADS /
 // GNN4IP_CONSUMERS, which only apply when no explicit count is set).
+//
+// --kernel forces the SIMD dispatch backend (default: auto-detect; the
+// GNN4IP_KERNEL environment variable applies when the flag is absent)
+// and --prefilter screens through the int8 quantized tier. Both are
+// transparent to the output — verdict similarities are always the exact
+// scalar-kernel values, so runs differing only in these flags diff
+// clean line for line.
 //
 // --save-corpus writes the post-screening resident corpus as a
 // versioned snapshot directory (docs/FORMATS.md); --load-corpus warm-
@@ -76,12 +84,15 @@ int usage() {
       "  gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus ...]\n"
       "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
       "             [--shards <k>] [--threads <n>] [--async]\n"
-      "             [--consumers <n>]\n"
+      "             [--consumers <n>] [--kernel <scalar|avx2|neon|auto>]\n"
+      "             [--prefilter]\n"
       "             [--load-corpus <dir>] [--save-corpus <dir>]\n"
       "             <design.v> [...]\n"
       "  (--threads / --consumers override the GNN4IP_THREADS /\n"
       "   GNN4IP_CONSUMERS environment variables; --consumers implies\n"
-      "   --async; with --load-corpus, --corpus is optional)\n");
+      "   --async; with --load-corpus, --corpus is optional; --kernel\n"
+      "   overrides GNN4IP_KERNEL; --prefilter screens through the int8\n"
+      "   quantized tier — identical output, fewer exact cells)\n");
   return 2;
 }
 
@@ -213,6 +224,27 @@ int cmd_audit(const std::vector<std::string>& args) {
         return 2;
       }
       options.scorer.num_threads = static_cast<std::size_t>(threads);
+    } else if (arg == "--kernel") {
+      // Force the SIMD dispatch backend (scalar | avx2 | neon | auto).
+      // Verdict similarities are exact-scalar either way — the backend
+      // matters to the int8 prefilter screen and the non-exact float
+      // paths, never to the printed values.
+      try {
+        options.scorer.kernel = core::parse_backend(next_value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      if (!core::backend_supported(options.scorer.kernel)) {
+        std::fprintf(stderr, "error: --kernel %s is not supported on this "
+                             "host\n",
+                     core::backend_name(options.scorer.kernel));
+        return 2;
+      }
+    } else if (arg == "--prefilter") {
+      // Screen through the int8 quantized tier: bound-gated pruning with
+      // exact rescoring — output identical to the exhaustive scan.
+      options.scorer.int8_prefilter = true;
     } else if (arg == "--async") {
       use_async = true;
     } else if (arg == "--load-corpus") {

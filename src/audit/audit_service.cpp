@@ -335,25 +335,32 @@ void AuditService::commit_one(std::size_t ticket, const std::string& name,
     admission_log_->append({ticket, name, replaced, /*pinned=*/false});
   }
   const std::size_t n = corpus_->size();  // row == n - 1
-  // Score this one submission against everything admitted under an
-  // earlier ticket — a 1×n score_new_rows slice, the same cells a
-  // batch-of-one screen() has always produced. A same-name row replaced
-  // by admit() above is a tombstone here: still scored positionally,
-  // filtered by the live() check like any other tombstone.
+  // Screen this one submission against everything admitted under an
+  // earlier ticket. screen_new_rows returns exactly what the verdicts
+  // need — the flagged matches and the best live match, with exact
+  // scalar-kernel similarities bit-identical to the 1×n score_new_rows
+  // slice this loop used to walk — whether the corpus scans exhaustively
+  // or through the int8 prefilter. A same-name row replaced by admit()
+  // above is a tombstone here, excluded like any other tombstone.
   if (n > 1) {
-    const tensor::Matrix scores = corpus_->score_new_rows(n - 1);
-    const std::span<const float> srow = scores.row(0);
-    for (std::size_t j = 0; j + 1 < n; ++j) {
-      if (!corpus_->live(j)) continue;
+    const std::vector<core::ScreenRow> screened =
+        corpus_->screen_new_rows(n - 1, options_.scorer.delta);
+    const core::ScreenRow& srow = screened.front();
+    for (const core::ScreenMatch& m : srow.flagged) {
       Verdict v;
-      v.matched = corpus_->name(j);
-      v.corpus_index = j;
-      v.similarity = srow[j];
-      v.flagged = srow[j] > options_.scorer.delta;
-      if (!report.best || v.similarity > report.best->similarity) {
-        report.best = v;
-      }
-      if (v.flagged) report.verdicts.push_back(std::move(v));
+      v.matched = corpus_->name(m.index);
+      v.corpus_index = m.index;
+      v.similarity = m.similarity;
+      v.flagged = true;
+      report.verdicts.push_back(std::move(v));
+    }
+    if (srow.best) {
+      Verdict v;
+      v.matched = corpus_->name(srow.best->index);
+      v.corpus_index = srow.best->index;
+      v.similarity = srow.best->similarity;
+      v.flagged = srow.best->similarity > options_.scorer.delta;
+      report.best = std::move(v);
     }
     std::sort(report.verdicts.begin(), report.verdicts.end(),
               [](const Verdict& x, const Verdict& y) {

@@ -49,6 +49,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -60,6 +61,32 @@
 #include "util/thread_pool.h"
 
 namespace gnn4ip::core {
+
+/// One screened candidate: a live corpus row and its *exact* similarity
+/// (always computed by the scalar reference kernel, whatever produced
+/// the candidacy).
+struct ScreenMatch {
+  std::size_t index = 0;
+  float similarity = 0.0F;
+};
+
+/// What screening one incoming row actually needs — the flagged matches
+/// and the best match, with exact similarities — instead of the full
+/// 1×N matrix. Identical with the int8 prefilter on or off; the
+/// scanned/rescored tallies expose how much exact work the prefilter
+/// saved.
+struct ScreenRow {
+  /// Live candidates with similarity > delta, ascending corpus index.
+  std::vector<ScreenMatch> flagged;
+  /// The most similar live candidate (ties: lowest index); unset when
+  /// there are no candidates.
+  std::optional<ScreenMatch> best;
+  /// Live candidates considered.
+  std::size_t scanned = 0;
+  /// Candidates whose exact similarity was computed (== scanned on the
+  /// exact path; typically far fewer with the prefilter).
+  std::size_t rescored = 0;
+};
 
 class ShardedCorpus {
  public:
@@ -130,6 +157,18 @@ class ShardedCorpus {
   /// PairwiseScorer::score_new_rows for any shard count × worker count.
   /// N snapshots at entry; rows admitted concurrently are not scored.
   [[nodiscard]] tensor::Matrix score_new_rows(std::size_t first_new) const;
+
+  /// Verdict-shaped screening: for every row with global index ≥
+  /// `first_new`, the flagged matches (exact similarity > delta) and the
+  /// best match among *live* rows with global index < first_new. The
+  /// similarities are the exact scalar-kernel values — bit-identical to
+  /// the matching cells of score_new_rows — whether the corpus screens
+  /// exactly or through the int8 prefilter
+  /// (options().int8_prefilter): prefilter bounds are rigorous, so a
+  /// candidate is pruned only when it provably cannot flag or be best,
+  /// and every reported similarity is an exact rescore.
+  [[nodiscard]] std::vector<ScreenRow> screen_new_rows(std::size_t first_new,
+                                                       float delta) const;
 
   /// The k live entries most similar to global row `i` (i itself and
   /// removed rows excluded), descending similarity with ascending-index
@@ -208,6 +247,10 @@ class ShardedCorpus {
   [[nodiscard]] std::span<const float> row_nolock(const EntryRef& e) const {
     return shards_[e.shard].row(e.local);
   }
+
+  /// flag(delta) through the int8 bound gate (chosen by flag() when
+  /// options().int8_prefilter is set) — bit-identical flagged set.
+  [[nodiscard]] std::vector<PairScore> flag_prefiltered(float delta) const;
 
   ScorerOptions options_;
   std::size_t shard_budget_ = 0;

@@ -1,0 +1,171 @@
+// Runtime-dispatched SIMD kernel backends for the cosine hot loops.
+//
+// The scoring layers funnel every float cell through the scalar kernels
+// of cosine_kernels.h — that scalar arithmetic IS the determinism
+// contract, so it can never change. This header adds the fast lane
+// around it: a small table of function pointers (KernelOps) with one
+// implementation per backend, selected at runtime by CPU feature
+// detection (CPUID-backed __builtin_cpu_supports on x86, compile-time
+// NEON on aarch64) or forced through ScorerOptions::kernel /
+// the GNN4IP_KERNEL environment variable.
+//
+// Bit-level rules per kernel family:
+//   * float kernels (cosine_sweep, dot_f32, row_norm_f32): the scalar
+//     backend reproduces cosine_kernels.h bit-for-bit (it is a thin loop
+//     over cosine_cell/row_norm). AVX2/NEON reassociate the float adds,
+//     so they are only eligible when the caller opted out of exact
+//     scoring (ScorerOptions::exact_scoring == false); results agree
+//     with scalar to ~1e-6, not to the bit.
+//   * int8 kernels (dot_i8): integer addition is associative, so every
+//     backend returns the exact same integer — the quantized prefilter
+//     can use the widest vector unit available without perturbing
+//     verdicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gnn4ip::core {
+
+/// Which kernel implementation services the dispatched paths.
+/// kAuto resolves through GNN4IP_KERNEL (scalar|avx2|neon|auto), then
+/// CPU detection; forcing an unsupported backend is a hard error, never
+/// a silent fallback.
+enum class KernelBackend : std::uint8_t { kAuto, kScalar, kAvx2, kNeon };
+
+/// Stable lowercase name ("auto", "scalar", "avx2", "neon").
+[[nodiscard]] const char* backend_name(KernelBackend backend);
+
+/// Parse a backend name (the GNN4IP_KERNEL / --kernel vocabulary).
+/// Throws util::ContractViolation on anything else.
+[[nodiscard]] KernelBackend parse_backend(std::string_view name);
+
+/// True when this process can execute `backend` (kAuto and kScalar are
+/// always supported; kAvx2 needs AVX2+FMA at runtime; kNeon needs an
+/// aarch64 build).
+[[nodiscard]] bool backend_supported(KernelBackend backend);
+
+/// The best supported backend on this host (never kAuto).
+[[nodiscard]] KernelBackend detect_backend();
+
+/// Resolve a request to a concrete backend: an explicit request must be
+/// supported (hard error otherwise); kAuto defers to GNN4IP_KERNEL when
+/// set (same strictness), else detect_backend().
+[[nodiscard]] KernelBackend resolve_backend(KernelBackend requested);
+
+/// Query-side constants of the quantized-bound margin sweep, hoisted
+/// once per (query row, block). Built by make_sweep_query()
+/// (cosine_kernels.h) from the query's QuantGate.
+struct QuantSweepQuery {
+  double c_scale = 0.0;  // query scale — multiplies scale[j]·dots[j]
+  double c_e = 0.0;      // (s·‖q‖ + ‖e‖)·margin — multiplies e[j]
+  double c_sq = 0.0;     // ‖e‖·margin — multiplies sq[j]
+  double c_norm = 0.0;   // dim·2·eps·‖x‖·margin — multiplies normd[j]
+  double c_abs = 0.0;    // absolute margin floor
+  double floor = 0.0;    // denominator floor (kNormFloor as double)
+  float qnorm = 0.0F;    // fl(row_norm) — the float denominator factor
+};
+
+/// SoA view of a candidate block's cached quantization stats, one entry
+/// per row, as the margin sweep consumes them. Built per shard by the
+/// caller from EmbeddingStore's cached per-row values.
+struct QuantStatsSoa {
+  const double* scale = nullptr;  // per-row quantization scale s
+  const double* sq = nullptr;     // s·‖q‖
+  const double* e = nullptr;      // ‖e‖ upper bound
+  const double* normd = nullptr;  // double(fl(row_norm))
+  const float* normf = nullptr;   // fl(row_norm) — float denominator factor
+};
+
+/// One backend's kernel table. All pointers are non-null.
+struct KernelOps {
+  KernelBackend backend = KernelBackend::kScalar;
+
+  /// Fused dot+clamp row sweep: for j in [0, n),
+  ///   out[j] = clamp(dot(q, rows + j*dim) /
+  ///                  max(qnorm * norms[j], kNormFloor), -1, 1).
+  /// The scalar backend is a loop over cosine_cell — bit-identical to
+  /// every exact scoring path.
+  void (*cosine_sweep)(const float* q, float qnorm, const float* rows,
+                       const float* norms, std::size_t n, std::size_t dim,
+                       float* out) = nullptr;
+
+  /// Plain dot product of two D-rows.
+  float (*dot_f32)(const float* a, const float* b, std::size_t dim) = nullptr;
+
+  /// Euclidean norm of one D-row.
+  float (*row_norm_f32)(const float* a, std::size_t dim) = nullptr;
+
+  /// Exact int32 dot product of two int8 D-rows (identical across
+  /// backends — integer adds are associative).
+  std::int32_t (*dot_i8)(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t dim) = nullptr;
+
+  /// dot_i8 of q against every row of a contiguous int8 row block:
+  ///   out[j] = dot_i8(q, rows + j*dim) for j in [0, n).
+  /// One call per (query, block) amortizes the dispatch indirection out
+  /// of the prefilter's candidate sweep; same exactness guarantee as
+  /// dot_i8 (bit-identical across backends).
+  void (*dot_i8_sweep)(const std::int8_t* q, const std::int8_t* rows,
+                       std::size_t n, std::size_t dim,
+                       std::int32_t* out) = nullptr;
+
+  /// Quantized-bound margin sweep (the prefilter's per-candidate test,
+  /// vectorized): for j in [0, n),
+  ///   num[j] = qc.c_scale·scale[j]·dots[j] + qc.c_e·e[j] +
+  ///            qc.c_sq·sq[j] + qc.c_norm·normd[j] + qc.c_abs
+  ///   den[j] = max(double(qc.qnorm · normf[j]), qc.floor)
+  /// and every j with num[j] > prune_max·den[j] is appended (ascending)
+  /// to hits; the return value is the hit count. num/den is an upper
+  /// bound on the exact (unclamped) cosine cell — the query-side
+  /// coefficients carry the same rigor margins as quant_gate_spread,
+  /// which dominate any mul/add-vs-FMA reassociation, so
+  /// `num ≤ t·den` always soundly implies `exact cosine ≤ t` for
+  /// t ≥ −1 (pass prune_max = −inf to make every row a hit). Unlike the
+  /// int8 kernels, num is NOT bit-pinned across backends (FMA vs
+  /// mul+add) — callers may only use it for conservative pruning, never
+  /// for output values. den IS bit-identical everywhere: a float
+  /// product then a double max, on every backend.
+  std::size_t (*quant_margin_sweep)(const QuantSweepQuery& qc,
+                                    const QuantStatsSoa& rows,
+                                    const std::int32_t* dots, std::size_t n,
+                                    double prune_max, double* num,
+                                    double* den,
+                                    std::uint32_t* hits) = nullptr;
+
+  /// The fused prefilter fast path: dot_i8_sweep + quant_margin_sweep in
+  /// one pass over a contiguous int8 row block, with the per-row dots
+  /// also written out (retained-candidate walks still need them for
+  /// quant_gate_bounds). Exactly equivalent to
+  ///   dot_i8_sweep(q, rows, n, dim, dots);
+  ///   quant_margin_sweep(qc, stats, dots, n, prune_max, num, den, hits);
+  /// — dots and den are bit-identical across backends, num carries the
+  /// same not-bit-pinned caveat as quant_margin_sweep. Fusing keeps the
+  /// 4-row dot reductions in registers instead of round-tripping each
+  /// dot through memory, which is where the screen's candidate sweep
+  /// spends its time.
+  std::size_t (*quant_screen_sweep)(const QuantSweepQuery& qc,
+                                    const std::int8_t* q,
+                                    const std::int8_t* rows, std::size_t dim,
+                                    const QuantStatsSoa& stats, std::size_t n,
+                                    double prune_max, std::int32_t* dots,
+                                    double* num, double* den,
+                                    std::uint32_t* hits) = nullptr;
+
+  /// Second-phase scan over a margin sweep's outputs: appends to hits
+  /// (ascending) every j with num[j] ≥ keep_lb·den[j] — the candidates
+  /// whose upper bound can still contend once a lower bound keep_lb on
+  /// the best similarity is known — and returns the hit count. Pure
+  /// comparisons on the caller's arrays, so decisions are deterministic
+  /// for whatever num/den the margin sweep produced.
+  std::size_t (*quant_survivor_scan)(const double* num, const double* den,
+                                     std::size_t n, double keep_lb,
+                                     std::uint32_t* hits) = nullptr;
+};
+
+/// The kernel table for `requested` after resolve_backend(). The tables
+/// are static — the reference is valid for the process lifetime.
+[[nodiscard]] const KernelOps& kernel_ops(KernelBackend requested);
+
+}  // namespace gnn4ip::core

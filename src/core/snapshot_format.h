@@ -39,6 +39,12 @@ inline constexpr std::uint32_t kShardFormatVersion = 1;
 /// value on a foreign-endian host, turning silent float garbage into a
 /// typed rejection.
 inline constexpr std::uint32_t kByteOrderMark = 0x0A0B0C0Du;
+/// 4-byte tag opening the *optional* quantized-tier section appended
+/// after the name table of a v1 shard file: per-row float scales, then
+/// the int8 row block. Files without the section load fine (the tier is
+/// rebuilt from the float rows); files with it are verified against a
+/// deterministic rebuild byte-for-byte.
+inline constexpr char kQuantSectionTag[4] = {'Q', 'N', 'T', '8'};
 
 /// Magic token opening the corpus manifest, followed by " v<version>".
 inline constexpr const char* kManifestMagic = "gnn4ip-corpus";

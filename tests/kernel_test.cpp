@@ -1,0 +1,748 @@
+// SIMD dispatch + quantized prefilter tests: the acceptance bar for the
+// retrieval fast lanes is that they are *invisible* to results.
+//
+//   * The scalar backend IS the determinism contract: its sweep is a
+//     loop over cosine_cell, bit-identical to every exact scoring path.
+//   * SIMD float backends reassociate adds — they only serve non-exact
+//     callers and must agree with scalar to tight tolerance.
+//   * Int8 dots are associative — every backend returns the same
+//     integer, so prefilter candidacy never depends on the host.
+//   * quantized_cosine_bounds must ENCLOSE the exact cosine — a pruned
+//     candidate is provably irrelevant, so screen/top_k/flag with the
+//     prefilter on are bit-identical to the exhaustive scan, for any
+//     shard count × worker count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "audit/audit_service.h"
+#include "core/cosine_kernels.h"
+#include "core/embedding_store.h"
+#include "core/gnn4ip.h"
+#include "core/sharded_corpus.h"
+#include "core/simd_dispatch.h"
+#include "data/corpus.h"
+#include "tensor/matrix.h"
+#include "util/contract.h"
+#include "util/rng.h"
+
+namespace gnn4ip::core {
+namespace {
+
+/// Scoped GNN4IP_KERNEL override that restores the previous value (the
+/// dispatcher re-reads the variable on every resolve).
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* value) {
+    const char* old = std::getenv("GNN4IP_KERNEL");
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv("GNN4IP_KERNEL", value, 1);
+    } else {
+      ::unsetenv("GNN4IP_KERNEL");
+    }
+  }
+  ~EnvGuard() {
+    if (saved_) {
+      ::setenv("GNN4IP_KERNEL", saved_->c_str(), 1);
+    } else {
+      ::unsetenv("GNN4IP_KERNEL");
+    }
+  }
+  EnvGuard(const EnvGuard&) = delete;
+  EnvGuard& operator=(const EnvGuard&) = delete;
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+std::vector<KernelBackend> supported_simd_backends() {
+  std::vector<KernelBackend> out;
+  if (backend_supported(KernelBackend::kAvx2)) {
+    out.push_back(KernelBackend::kAvx2);
+  }
+  if (backend_supported(KernelBackend::kNeon)) {
+    out.push_back(KernelBackend::kNeon);
+  }
+  return out;
+}
+
+tensor::Matrix row_matrix(std::span<const float> values) {
+  tensor::Matrix m(1, values.size());
+  std::span<float> row = m.row(0);
+  for (std::size_t k = 0; k < values.size(); ++k) row[k] = values[k];
+  return m;
+}
+
+/// Synthetic embedding rows: dense uniform noise plus a sprinkling of
+/// adversarial shapes (zero rows, sub-kNormFloor rows, one-hot spikes,
+/// constant rows) so the edge behaviour of every kernel gets exercised.
+std::vector<std::vector<float>> synth_rows(std::size_t n, std::size_t d,
+                                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> rows(n, std::vector<float>(d, 0.0F));
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (i % 16) {
+      case 7:  // all-zero row: clamps to the kNormFloor denominator
+        break;
+      case 11:  // below kNormFloor: denominator clamps, cosine ~0
+        for (float& x : rows[i]) x = rng.uniform(-1e-10F, 1e-10F);
+        break;
+      case 13:  // one-hot spike
+        rows[i][rng.next_below(d)] = rng.flip(0.5) ? 1.0F : -1.0F;
+        break;
+      case 15:  // constant row (quantizes exactly)
+        for (float& x : rows[i]) x = rng.uniform(-1.0F, 1.0F);
+        rows[i].assign(d, rows[i][0]);
+        break;
+      default:
+        for (float& x : rows[i]) x = rng.uniform(-1.0F, 1.0F);
+        break;
+    }
+  }
+  return rows;
+}
+
+/// Fill `corpus` (immovable — mutexes) with `resident` rows plus
+/// `fresh` incoming rows; a third of the incoming rows are
+/// near-duplicates of residents so the screen has genuine piracy hits
+/// to flag, not just noise.
+void fill_synth_corpus(ShardedCorpus& corpus, std::size_t resident,
+                       std::size_t fresh, std::size_t d) {
+  const std::vector<std::vector<float>> rows =
+      synth_rows(resident, d, /*seed=*/41);
+  for (std::size_t i = 0; i < resident; ++i) {
+    corpus.add("res#" + std::to_string(i), row_matrix(rows[i]));
+  }
+  util::Rng rng(97);
+  for (std::size_t i = 0; i < fresh; ++i) {
+    std::vector<float> row(d);
+    if (i % 3 == 0 && resident > 0) {
+      row = rows[rng.next_below(resident)];
+      for (float& x : row) x += rng.uniform(-0.01F, 0.01F);
+    } else {
+      for (float& x : row) x = rng.uniform(-1.0F, 1.0F);
+    }
+    corpus.add("new#" + std::to_string(i), row_matrix(row));
+  }
+}
+
+// ---- Dispatch resolution --------------------------------------------------
+
+TEST(KernelDispatch, ParseAndNameRoundTrip) {
+  for (const KernelBackend b :
+       {KernelBackend::kAuto, KernelBackend::kScalar, KernelBackend::kAvx2,
+        KernelBackend::kNeon}) {
+    EXPECT_EQ(parse_backend(backend_name(b)), b);
+  }
+  EXPECT_THROW((void)parse_backend("sse9"), util::ContractViolation);
+  EXPECT_THROW((void)parse_backend(""), util::ContractViolation);
+  EXPECT_THROW((void)parse_backend("AVX2"), util::ContractViolation);
+}
+
+TEST(KernelDispatch, DetectionIsConcreteAndSupported) {
+  const KernelBackend detected = detect_backend();
+  EXPECT_NE(detected, KernelBackend::kAuto);
+  EXPECT_TRUE(backend_supported(detected));
+  EXPECT_TRUE(backend_supported(KernelBackend::kScalar));
+  EXPECT_TRUE(backend_supported(KernelBackend::kAuto));
+}
+
+TEST(KernelDispatch, EnvKnobSteersAutoButNotExplicitRequests) {
+  {
+    EnvGuard env("scalar");
+    EXPECT_EQ(resolve_backend(KernelBackend::kAuto), KernelBackend::kScalar);
+    // An explicit request wins over the environment.
+    EXPECT_EQ(resolve_backend(detect_backend()), detect_backend());
+  }
+  {
+    EnvGuard env(nullptr);
+    EXPECT_EQ(resolve_backend(KernelBackend::kAuto), detect_backend());
+  }
+  {
+    EnvGuard env("auto");
+    EXPECT_EQ(resolve_backend(KernelBackend::kAuto), detect_backend());
+  }
+  {
+    EnvGuard env("bogus");
+    EXPECT_THROW((void)resolve_backend(KernelBackend::kAuto),
+                 util::ContractViolation);
+  }
+}
+
+TEST(KernelDispatch, ForcingAnUnsupportedBackendIsAHardError) {
+  for (const KernelBackend b : {KernelBackend::kAvx2, KernelBackend::kNeon}) {
+    if (backend_supported(b)) {
+      EXPECT_EQ(kernel_ops(b).backend, b);
+      continue;
+    }
+    EXPECT_THROW((void)resolve_backend(b), util::ContractViolation);
+    EXPECT_THROW((void)kernel_ops(b), util::ContractViolation);
+    // The same strictness through the environment: no silent fallback.
+    EnvGuard env(backend_name(b));
+    EXPECT_THROW((void)resolve_backend(KernelBackend::kAuto),
+                 util::ContractViolation);
+  }
+}
+
+// ---- Float kernels vs the scalar oracle -----------------------------------
+
+TEST(KernelSweep, ScalarSweepIsACosineCellLoopBitForBit) {
+  const KernelOps& ops = kernel_ops(KernelBackend::kScalar);
+  for (const std::size_t d : {1UL, 3UL, 5UL, 8UL, 16UL, 31UL}) {
+    const auto rows = synth_rows(24, d, /*seed=*/d);
+    std::vector<float> flat;
+    std::vector<float> norms;
+    for (const auto& row : rows) {
+      flat.insert(flat.end(), row.begin(), row.end());
+      norms.push_back(row_norm(row));
+    }
+    const std::vector<float>& q = rows[5];
+    const float qnorm = norms[5];
+    std::vector<float> got(rows.size());
+    ops.cosine_sweep(q.data(), qnorm, flat.data(), norms.data(), rows.size(),
+                     d, got.data());
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      EXPECT_EQ(got[j],
+                cosine_cell(q.data(), rows[j].data(), d, qnorm * norms[j]))
+          << "dim " << d << " row " << j;
+    }
+    EXPECT_EQ(ops.row_norm_f32(q.data(), d), row_norm(q));
+  }
+}
+
+TEST(KernelSweep, SimdBackendsMatchScalarOnEdgeShapes) {
+  // Dims straddle the vector widths (8 floats for AVX2, 4 for NEON,
+  // 16/32 int8 lanes) with ragged tails on both sides.
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  for (const KernelBackend b : supported_simd_backends()) {
+    const KernelOps& simd = kernel_ops(b);
+    EXPECT_EQ(simd.backend, b);
+    for (const std::size_t d : {1UL, 2UL, 3UL, 5UL, 8UL, 13UL, 16UL, 31UL,
+                                33UL, 64UL}) {
+      const auto rows = synth_rows(32, d, /*seed=*/100 + d);
+      std::vector<float> flat;
+      std::vector<float> norms;
+      for (const auto& row : rows) {
+        flat.insert(flat.end(), row.begin(), row.end());
+        norms.push_back(row_norm(row));
+      }
+      const std::vector<float>& q = rows[1];
+      const float qnorm = norms[1];
+      std::vector<float> want(rows.size());
+      std::vector<float> got(rows.size());
+      scalar.cosine_sweep(q.data(), qnorm, flat.data(), norms.data(),
+                          rows.size(), d, want.data());
+      simd.cosine_sweep(q.data(), qnorm, flat.data(), norms.data(),
+                        rows.size(), d, got.data());
+      for (std::size_t j = 0; j < rows.size(); ++j) {
+        EXPECT_NEAR(got[j], want[j], 1e-5F)
+            << backend_name(b) << " dim " << d << " row " << j;
+        EXPECT_GE(got[j], -1.0F);
+        EXPECT_LE(got[j], 1.0F);
+        // Zero rows accumulate exact zeros on every backend.
+        if (j % 16 == 7) {
+          EXPECT_EQ(got[j], 0.0F);
+        }
+      }
+      EXPECT_NEAR(simd.dot_f32(q.data(), rows[3].data(), d),
+                  scalar.dot_f32(q.data(), rows[3].data(), d),
+                  1e-5F * static_cast<float>(d));
+      EXPECT_NEAR(simd.row_norm_f32(q.data(), d), row_norm(q), 1e-6F);
+    }
+  }
+}
+
+TEST(KernelSweep, Int8DotIsBitIdenticalAcrossBackends) {
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  util::Rng rng(7);
+  for (const std::size_t d :
+       {1UL, 5UL, 15UL, 16UL, 17UL, 32UL, 33UL, 64UL, 100UL}) {
+    std::vector<std::int8_t> a(d);
+    std::vector<std::int8_t> b(d);
+    for (std::size_t k = 0; k < d; ++k) {
+      // Full quantized range including the extremes.
+      a[k] = static_cast<std::int8_t>(
+          static_cast<int>(rng.next_below(255)) - 127);
+      b[k] = static_cast<std::int8_t>(
+          static_cast<int>(rng.next_below(255)) - 127);
+    }
+    std::int64_t want_wide = 0;
+    for (std::size_t k = 0; k < d; ++k) {
+      want_wide += static_cast<std::int64_t>(a[k]) * b[k];
+    }
+    const std::int32_t want = scalar.dot_i8(a.data(), b.data(), d);
+    EXPECT_EQ(static_cast<std::int64_t>(want), want_wide) << "dim " << d;
+    for (const KernelBackend backend : supported_simd_backends()) {
+      EXPECT_EQ(kernel_ops(backend).dot_i8(a.data(), b.data(), d), want)
+          << backend_name(backend) << " dim " << d;
+    }
+  }
+}
+
+EmbeddingStore synth_store(std::size_t n, std::size_t d, std::uint64_t seed) {
+  EmbeddingStore store;
+  const auto rows = synth_rows(n, d, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    store.add("r#" + std::to_string(i), row_matrix(rows[i]));
+  }
+  return store;
+}
+
+TEST(KernelSweep, Int8BlockSweepMatchesPerPairDots) {
+  // n = 37 leaves a ragged tail past every 4-row grouping; the dims
+  // straddle the 16-lane int8 width (and 8/20 force the AVX2 fused
+  // screen path's unfused fallback in the test below).
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  for (const std::size_t d : {1UL, 5UL, 15UL, 16UL, 17UL, 32UL, 48UL}) {
+    const EmbeddingStore store = synth_store(37, d, 1000 + d);
+    const std::int8_t* base = store.qrow(0).data();
+    const std::int8_t* q = store.qrow(3).data();
+    std::vector<std::int32_t> want(store.size());
+    for (std::size_t j = 0; j < store.size(); ++j) {
+      want[j] = scalar.dot_i8(q, store.qrow(j).data(), d);
+    }
+    std::vector<std::int32_t> got(store.size());
+    scalar.dot_i8_sweep(q, base, store.size(), d, got.data());
+    EXPECT_EQ(got, want) << "scalar dim " << d;
+    for (const KernelBackend b : supported_simd_backends()) {
+      std::fill(got.begin(), got.end(), 0);
+      kernel_ops(b).dot_i8_sweep(q, base, store.size(), d, got.data());
+      EXPECT_EQ(got, want) << backend_name(b) << " dim " << d;
+    }
+  }
+}
+
+// ---- Bound soundness ------------------------------------------------------
+
+TEST(QuantBounds, EncloseTheExactCosineOnFuzzedRows) {
+  // 1000 fuzzed pairs drawn from a store holding every adversarial row
+  // shape synth_rows produces: the enclosure lb ≤ exact ≤ ub must never
+  // fail — one violation would let the prefilter prune a true match.
+  constexpr std::size_t kRows = 512;
+  constexpr std::size_t kDim = 16;
+  EmbeddingStore store;
+  const auto rows = synth_rows(kRows, kDim, /*seed=*/3);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    store.add("r#" + std::to_string(i), row_matrix(rows[i]));
+  }
+  const KernelOps& ops = kernel_ops(KernelBackend::kScalar);
+  util::Rng rng(17);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t i = rng.next_below(kRows);
+    const std::size_t j = rng.next_below(kRows);
+    const QuantRowView a = store.quant_view(i);
+    const QuantRowView b = store.quant_view(j);
+    const std::int32_t dot = ops.dot_i8(a.q, b.q, kDim);
+    const CosineBounds bounds = quantized_cosine_bounds(a, b, dot, kDim);
+    const float exact = cosine_cell(store.row(i).data(), store.row(j).data(),
+                                    kDim, store.norm(i) * store.norm(j));
+    ASSERT_LE(bounds.lb, exact) << "pair (" << i << ", " << j << ")";
+    ASSERT_GE(bounds.ub, exact) << "pair (" << i << ", " << j << ")";
+    EXPECT_LE(bounds.lb, bounds.ub);
+    EXPECT_GE(bounds.lb, -1.0F);
+    EXPECT_LE(bounds.ub, 1.0F);
+  }
+}
+
+TEST(QuantBounds, StoreStatsSoaMatchesPerRowGates) {
+  // The store-resident SoA must agree to the bit with gates built from
+  // quant_view — including after remove() + compact() shuffles rows.
+  constexpr std::size_t kDim = 16;
+  EmbeddingStore store = synth_store(64, kDim, 5);
+  const auto check_all = [&store] {
+    const QuantStatsSoa soa = store.quant_stats();
+    for (std::size_t i = 0; i < store.size(); ++i) {
+      const QuantGate g = make_quant_gate(store.quant_view(i), kDim);
+      EXPECT_EQ(soa.scale[i], g.scale) << "row " << i;
+      EXPECT_EQ(soa.sq[i], g.sq) << "row " << i;
+      EXPECT_EQ(soa.e[i], g.e) << "row " << i;
+      EXPECT_EQ(soa.normd[i], static_cast<double>(g.norm)) << "row " << i;
+      EXPECT_EQ(soa.normf[i], g.norm) << "row " << i;
+    }
+  };
+  check_all();
+  store.remove(3);
+  store.remove(40);
+  (void)store.compact();
+  check_all();
+}
+
+TEST(QuantBounds, MarginAndScreenSweepsAreSoundAndSelfConsistent) {
+  // The sweep kernels' contract, per backend: (1) the fused
+  // quant_screen_sweep equals dot_i8_sweep + quant_margin_sweep on the
+  // same backend, lane for lane; (2) dots and den are bit-identical to
+  // the scalar per-pair reference on every backend; (3) the hit list is
+  // exactly {j : num[j] > prune_max·den[j]}, ascending; (4) soundness:
+  // every candidate the exact scalar cell puts above the threshold is a
+  // hit (nothing scoring > t is ever pruned), and prune_max = −inf
+  // keeps everything.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<KernelBackend> backends{KernelBackend::kScalar};
+  for (const KernelBackend b : supported_simd_backends()) {
+    backends.push_back(b);
+  }
+  const KernelOps& scalar = kernel_ops(KernelBackend::kScalar);
+  for (const std::size_t d : {8UL, 16UL, 20UL, 32UL}) {
+    const EmbeddingStore store = synth_store(37, d, 2000 + d);
+    const QuantStatsSoa soa = store.quant_stats();
+    const std::size_t n = store.size();
+    const std::int8_t* base = store.qrow(0).data();
+    for (const std::size_t qi : {0UL, 7UL, 13UL}) {
+      const QuantGate ga = make_quant_gate(store.quant_view(qi), d);
+      const QuantSweepQuery qc = make_sweep_query(ga);
+      std::vector<std::int32_t> ref_dots(n);
+      scalar.dot_i8_sweep(ga.q, base, n, d, ref_dots.data());
+      for (const double prune_max : {0.5, -kInf}) {
+        for (const KernelBackend b : backends) {
+          SCOPED_TRACE(std::string(backend_name(b)) + " dim " +
+                       std::to_string(d) + " query " + std::to_string(qi) +
+                       " prune_max " + std::to_string(prune_max));
+          const KernelOps& ops = kernel_ops(b);
+          std::vector<std::int32_t> dots(n);
+          std::vector<double> num(n);
+          std::vector<double> den(n);
+          std::vector<std::uint32_t> hits(n);
+          const std::size_t n_hits = ops.quant_screen_sweep(
+              qc, ga.q, base, d, soa, n, prune_max, dots.data(), num.data(),
+              den.data(), hits.data());
+          EXPECT_EQ(dots, ref_dots);
+          std::vector<std::int32_t> dots2(n);
+          std::vector<double> num2(n);
+          std::vector<double> den2(n);
+          std::vector<std::uint32_t> hits2(n);
+          ops.dot_i8_sweep(ga.q, base, n, d, dots2.data());
+          const std::size_t n_hits2 =
+              ops.quant_margin_sweep(qc, soa, dots2.data(), n, prune_max,
+                                     num2.data(), den2.data(), hits2.data());
+          EXPECT_EQ(num, num2);
+          EXPECT_EQ(den, den2);
+          ASSERT_EQ(n_hits, n_hits2);
+          for (std::size_t h = 0; h < n_hits; ++h) {
+            EXPECT_EQ(hits[h], hits2[h]) << "hit " << h;
+          }
+          std::size_t expect_hit = 0;
+          for (std::size_t j = 0; j < n; ++j) {
+            const QuantGate gb = make_quant_gate(store.quant_view(j), d);
+            EXPECT_EQ(den[j], quant_gate_denom(ga, gb)) << "row " << j;
+            const bool is_hit = num[j] > prune_max * den[j];
+            if (is_hit) {
+              ASSERT_LT(expect_hit, n_hits);
+              EXPECT_EQ(hits[expect_hit], j);
+              ++expect_hit;
+            }
+            const float exact =
+                cosine_cell(store.row(qi).data(), store.row(j).data(), d,
+                            store.norm(qi) * store.norm(j));
+            if (static_cast<double>(exact) > prune_max) {
+              EXPECT_TRUE(is_hit) << "row " << j << " exact " << exact;
+            }
+          }
+          EXPECT_EQ(expect_hit, n_hits);
+          if (prune_max == -kInf) {
+            EXPECT_EQ(n_hits, n);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantBounds, SurvivorScanMatchesItsPredicateOnEveryBackend) {
+  // num/den are caller inputs here, so unlike the margin sweep the hit
+  // list must be bit-identical across backends: exactly
+  // {j : num[j] ≥ keep_lb·den[j]}, ascending.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  util::Rng rng(23);
+  for (const std::size_t n : {0UL, 1UL, 3UL, 4UL, 37UL, 256UL}) {
+    std::vector<double> num(n);
+    std::vector<double> den(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      num[j] = static_cast<double>(rng.uniform(-1.5F, 1.5F));
+      den[j] = static_cast<double>(rng.uniform(1e-8F, 2.0F));
+    }
+    for (const double keep_lb : {0.25, -kInf}) {
+      std::vector<std::uint32_t> want;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (num[j] >= keep_lb * den[j]) {
+          want.push_back(static_cast<std::uint32_t>(j));
+        }
+      }
+      std::vector<KernelBackend> backends{KernelBackend::kScalar};
+      for (const KernelBackend b : supported_simd_backends()) {
+        backends.push_back(b);
+      }
+      for (const KernelBackend b : backends) {
+        std::vector<std::uint32_t> got(n + 1, 0xFFFFFFFFU);
+        const std::size_t n_hits = kernel_ops(b).quant_survivor_scan(
+            num.data(), den.data(), n, keep_lb, got.data());
+        ASSERT_EQ(n_hits, want.size())
+            << backend_name(b) << " n=" << n << " keep_lb=" << keep_lb;
+        for (std::size_t h = 0; h < n_hits; ++h) {
+          EXPECT_EQ(got[h], want[h]) << backend_name(b) << " hit " << h;
+        }
+      }
+    }
+  }
+}
+
+// ---- Prefilter ≡ exact ----------------------------------------------------
+
+TEST(QuantPrefilter, ScreenBitIdenticalToExactSweepOn10kRows) {
+  constexpr std::size_t kResident = 10'000;
+  constexpr std::size_t kFresh = 8;
+  constexpr std::size_t kDim = 16;
+  constexpr float kDelta = 0.5F;
+  ScorerOptions exact_options;
+  ScorerOptions pre_options;
+  pre_options.int8_prefilter = true;
+  ShardedCorpus exact(2, exact_options);
+  ShardedCorpus pre(2, pre_options);
+  fill_synth_corpus(exact, kResident, kFresh, kDim);
+  fill_synth_corpus(pre, kResident, kFresh, kDim);
+
+  const std::vector<ScreenRow> want = exact.screen_new_rows(kResident, kDelta);
+  const std::vector<ScreenRow> got = pre.screen_new_rows(kResident, kDelta);
+  const tensor::Matrix matrix = exact.score_new_rows(kResident);
+  ASSERT_EQ(want.size(), kFresh);
+  ASSERT_EQ(got.size(), kFresh);
+  std::size_t total_rescored = 0;
+  std::size_t total_scanned = 0;
+  for (std::size_t r = 0; r < kFresh; ++r) {
+    // The exhaustive screen rescores everything it scans.
+    EXPECT_EQ(want[r].scanned, kResident);
+    EXPECT_EQ(want[r].rescored, kResident);
+    EXPECT_EQ(got[r].scanned, kResident);
+    ASSERT_EQ(got[r].flagged.size(), want[r].flagged.size()) << "row " << r;
+    for (std::size_t m = 0; m < want[r].flagged.size(); ++m) {
+      EXPECT_EQ(got[r].flagged[m].index, want[r].flagged[m].index);
+      EXPECT_EQ(got[r].flagged[m].similarity, want[r].flagged[m].similarity);
+      // And both agree with the full matrix sweep, bit for bit.
+      EXPECT_EQ(want[r].flagged[m].similarity,
+                matrix.at(r, want[r].flagged[m].index));
+    }
+    ASSERT_TRUE(want[r].best.has_value());
+    ASSERT_TRUE(got[r].best.has_value());
+    EXPECT_EQ(got[r].best->index, want[r].best->index);
+    EXPECT_EQ(got[r].best->similarity, want[r].best->similarity);
+    total_rescored += got[r].rescored;
+    total_scanned += got[r].scanned;
+  }
+  // The point of the tier: the overwhelming majority of candidates are
+  // pruned by bounds alone (random 16-dim rows sit far below δ = 0.5).
+  EXPECT_LT(total_rescored, total_scanned / 4);
+}
+
+TEST(QuantPrefilter, TopKBitIdenticalToExhaustiveScan) {
+  constexpr std::size_t kRows = 2'000;
+  constexpr std::size_t kDim = 16;
+  ScorerOptions exact_options;
+  ScorerOptions pre_options;
+  pre_options.int8_prefilter = true;
+  ShardedCorpus exact(4, exact_options);
+  ShardedCorpus pre(4, pre_options);
+  fill_synth_corpus(exact, kRows, 8, kDim);
+  fill_synth_corpus(pre, kRows, 8, kDim);
+  for (const std::size_t i : {0UL, 777UL, kRows + 3UL}) {
+    for (const std::size_t k : {1UL, 5UL, 32UL}) {
+      const std::vector<PairScore> want = exact.top_k(i, k);
+      const std::vector<PairScore> got = pre.top_k(i, k);
+      ASSERT_EQ(got.size(), want.size()) << "i=" << i << " k=" << k;
+      for (std::size_t r = 0; r < want.size(); ++r) {
+        EXPECT_EQ(got[r].a, want[r].a);
+        EXPECT_EQ(got[r].b, want[r].b);
+        EXPECT_EQ(got[r].similarity, want[r].similarity);
+      }
+    }
+  }
+}
+
+TEST(QuantPrefilter, FlagBitIdenticalToExhaustiveScan) {
+  constexpr std::size_t kRows = 384;
+  constexpr std::size_t kDim = 16;
+  ScorerOptions exact_options;
+  ScorerOptions pre_options;
+  pre_options.int8_prefilter = true;
+  ShardedCorpus exact(2, exact_options);
+  ShardedCorpus pre(2, pre_options);
+  fill_synth_corpus(exact, kRows, 12, kDim);
+  fill_synth_corpus(pre, kRows, 12, kDim);
+  // δ = 0.5 prunes hard; δ = −2 flags every pair (the gate never fires:
+  // ub > −2 always) — both ends must agree exactly.
+  for (const float delta : {0.5F, 0.9F, -2.0F}) {
+    const std::vector<PairScore> want = exact.flag(delta);
+    const std::vector<PairScore> got = pre.flag(delta);
+    ASSERT_EQ(got.size(), want.size()) << "delta " << delta;
+    for (std::size_t r = 0; r < want.size(); ++r) {
+      EXPECT_EQ(got[r].a, want[r].a);
+      EXPECT_EQ(got[r].b, want[r].b);
+      EXPECT_EQ(got[r].similarity, want[r].similarity);
+    }
+  }
+}
+
+TEST(QuantPrefilter, ScreenInvariantAcrossShardAndWorkerCounts) {
+  constexpr std::size_t kResident = 300;
+  constexpr std::size_t kFresh = 6;
+  constexpr std::size_t kDim = 16;
+  constexpr float kDelta = 0.5F;
+  // Reference: exhaustive, single shard, inline workers.
+  ScorerOptions exact_options;
+  exact_options.num_threads = 1;
+  ShardedCorpus reference(1, exact_options);
+  fill_synth_corpus(reference, kResident, kFresh, kDim);
+  const std::vector<ScreenRow> want =
+      reference.screen_new_rows(kResident, kDelta);
+  for (const std::size_t shards : {1UL, 2UL, 4UL}) {
+    for (const std::size_t workers : {1UL, 2UL, 8UL}) {
+      ScorerOptions options;
+      options.int8_prefilter = true;
+      options.num_threads = workers;
+      ShardedCorpus corpus(shards, options);
+      fill_synth_corpus(corpus, kResident, kFresh, kDim);
+      const std::vector<ScreenRow> got =
+          corpus.screen_new_rows(kResident, kDelta);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t r = 0; r < want.size(); ++r) {
+        SCOPED_TRACE("shards=" + std::to_string(shards) +
+                     " workers=" + std::to_string(workers) +
+                     " row=" + std::to_string(r));
+        ASSERT_EQ(got[r].flagged.size(), want[r].flagged.size());
+        for (std::size_t m = 0; m < want[r].flagged.size(); ++m) {
+          EXPECT_EQ(got[r].flagged[m].index, want[r].flagged[m].index);
+          EXPECT_EQ(got[r].flagged[m].similarity,
+                    want[r].flagged[m].similarity);
+        }
+        ASSERT_EQ(got[r].best.has_value(), want[r].best.has_value());
+        if (want[r].best) {
+          EXPECT_EQ(got[r].best->index, want[r].best->index);
+          EXPECT_EQ(got[r].best->similarity, want[r].best->similarity);
+        }
+        EXPECT_EQ(got[r].scanned, want[r].scanned);
+      }
+    }
+  }
+}
+
+TEST(QuantPrefilter, AuditVerdictsIdenticalWithPrefilterOn) {
+  // End-to-end: real embeddings through the audit layer, prefilter off
+  // (the reference) vs on across shard × worker configurations — every
+  // report field must match exactly.
+  gnn::Hw2Vec model;
+  data::RtlCorpusOptions corpus_options;
+  corpus_options.instances_per_family = 2;
+  corpus_options.families = {"adder", "crc8", "parity", "counter", "pwm"};
+  const auto entries =
+      make_graph_entries(data::build_rtl_corpus(corpus_options));
+  ASSERT_GE(entries.size(), 8u);
+  const std::size_t library = entries.size() - 3;
+
+  std::vector<std::vector<audit::ScreenReport>> runs;
+  for (const bool prefilter : {false, true}) {
+    for (const std::size_t shards : {1UL, 2UL, 4UL}) {
+      for (const std::size_t workers : {1UL, 2UL, 8UL}) {
+        audit::AuditOptions options;
+        options.num_shards = shards;
+        options.scorer.num_threads = workers;
+        options.scorer.int8_prefilter = prefilter;
+        options.scorer.delta = 0.3F;
+        audit::AuditService service(model, options);
+        for (std::size_t i = 0; i < library; ++i) {
+          ASSERT_TRUE(service.add_library(entries[i]).accepted);
+        }
+        for (std::size_t i = library; i < entries.size(); ++i) {
+          ASSERT_TRUE(service.submit(entries[i]));
+        }
+        runs.push_back(service.screen());
+      }
+    }
+  }
+  const std::vector<audit::ScreenReport>& reference = runs.front();
+  ASSERT_EQ(reference.size(), entries.size() - library);
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), reference.size()) << "run " << run;
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      SCOPED_TRACE("run=" + std::to_string(run) + " report=" +
+                   std::to_string(r));
+      const audit::ScreenReport& got = runs[run][r];
+      const audit::ScreenReport& want = reference[r];
+      EXPECT_EQ(got.submission.name, want.submission.name);
+      EXPECT_EQ(got.submission.corpus_index, want.submission.corpus_index);
+      ASSERT_EQ(got.verdicts.size(), want.verdicts.size());
+      for (std::size_t v = 0; v < want.verdicts.size(); ++v) {
+        EXPECT_EQ(got.verdicts[v].matched, want.verdicts[v].matched);
+        EXPECT_EQ(got.verdicts[v].corpus_index,
+                  want.verdicts[v].corpus_index);
+        EXPECT_EQ(got.verdicts[v].similarity, want.verdicts[v].similarity);
+        EXPECT_EQ(got.verdicts[v].flagged, want.verdicts[v].flagged);
+      }
+      ASSERT_EQ(got.best.has_value(), want.best.has_value());
+      if (want.best) {
+        EXPECT_EQ(got.best->matched, want.best->matched);
+        EXPECT_EQ(got.best->corpus_index, want.best->corpus_index);
+        EXPECT_EQ(got.best->similarity, want.best->similarity);
+        EXPECT_EQ(got.best->flagged, want.best->flagged);
+      }
+    }
+  }
+}
+
+// ---- Exact mode ignores the backend knob ----------------------------------
+
+TEST(ExactMode, BackendKnobNeverPerturbsExactScoring) {
+  // exact_scoring (the default, and what every audit layer keeps) pins
+  // the scalar sweep no matter which backend is requested — identical
+  // bits with the knob set to the fastest supported backend.
+  constexpr std::size_t kRows = 128;
+  constexpr std::size_t kDim = 16;
+  ScorerOptions scalar_options;
+  scalar_options.kernel = KernelBackend::kScalar;
+  ScorerOptions fast_options;
+  fast_options.kernel = detect_backend();
+  ShardedCorpus a(2, scalar_options);
+  ShardedCorpus b(2, fast_options);
+  fill_synth_corpus(a, kRows, 4, kDim);
+  fill_synth_corpus(b, kRows, 4, kDim);
+  const tensor::Matrix want = a.score_new_rows(kRows);
+  const tensor::Matrix got = b.score_new_rows(kRows);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      ASSERT_EQ(got.at(r, c), want.at(r, c)) << "cell (" << r << "," << c
+                                             << ")";
+    }
+  }
+}
+
+TEST(ExactMode, NonExactFloatPathTracksScalarClosely) {
+  if (supported_simd_backends().empty()) GTEST_SKIP();
+  constexpr std::size_t kRows = 128;
+  constexpr std::size_t kDim = 16;
+  ScorerOptions scalar_options;
+  ScorerOptions simd_options;
+  simd_options.exact_scoring = false;
+  simd_options.kernel = supported_simd_backends().front();
+  ShardedCorpus a(2, scalar_options);
+  ShardedCorpus b(2, simd_options);
+  fill_synth_corpus(a, kRows, 4, kDim);
+  fill_synth_corpus(b, kRows, 4, kDim);
+  const tensor::Matrix want = a.score_new_rows(kRows);
+  const tensor::Matrix got = b.score_new_rows(kRows);
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      ASSERT_NEAR(got.at(r, c), want.at(r, c), 1e-5F);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnn4ip::core

@@ -207,6 +207,61 @@ TEST(PairwiseScorer, ScoreAgainstMatchesJointMatrix) {
   }
 }
 
+TEST(PairwiseScorer, ScoreAgainstSpanPathMatchesMatrixCopyBitForBit) {
+  // score_against reads both caches through spans — no N×D staging copy.
+  // The removed copy must be purely an allocation saving: the result has
+  // to carry the exact bits of the Matrix-copy overload on the same
+  // rows, and empty sides keep their shaped-zero contract.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  ASSERT_GE(entries.size(), 4u);
+  PairwiseScorer left;
+  PairwiseScorer right;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    auto& side = (i % 2 == 0) ? left : right;
+    side.add(entries[i].name, model.embed_inference(entries[i].tensors));
+  }
+  const tensor::Matrix via_span = left.score_against(right);
+  const tensor::Matrix via_copy = cosine_rows(
+      left.embedding_matrix(), right.embedding_matrix(), left.options());
+  ASSERT_EQ(via_span.rows(), via_copy.rows());
+  ASSERT_EQ(via_span.cols(), via_copy.cols());
+  for (std::size_t i = 0; i < via_copy.rows(); ++i) {
+    for (std::size_t j = 0; j < via_copy.cols(); ++j) {
+      EXPECT_EQ(via_span.at(i, j), via_copy.at(i, j))
+          << "cell (" << i << "," << j << ")";
+    }
+  }
+  const PairwiseScorer empty;
+  const tensor::Matrix left_empty = empty.score_against(right);
+  EXPECT_EQ(left_empty.rows(), 0u);
+  EXPECT_EQ(left_empty.cols(), right.size());
+  const tensor::Matrix right_empty = left.score_against(empty);
+  EXPECT_EQ(right_empty.rows(), left.size());
+  EXPECT_EQ(right_empty.cols(), 0u);
+}
+
+TEST(EmbeddingStore, CachedNormsMatchKernelRecomputationBitForBit) {
+  // The store caches fl(row_norm) at add time and keeps it through
+  // compact(); every scoring layer divides by these cached values, so
+  // they must be indistinguishable from recomputation.
+  gnn::Hw2Vec model;
+  const auto entries = small_corpus();
+  EmbeddingStore store;
+  for (const auto& entry : entries) {
+    store.add(entry.name, model.embed_inference(entry.tensors));
+  }
+  ASSERT_EQ(store.norms().size(), store.size());
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(store.norm(i), row_norm(store.row(i))) << "row " << i;
+  }
+  store.remove(1);
+  (void)store.compact();
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    EXPECT_EQ(store.norm(i), row_norm(store.row(i))) << "row " << i;
+  }
+}
+
 TEST(PairwiseScorer, FlagReturnsSortedPairsAboveDelta) {
   PairwiseScorer scorer;
   const tensor::Matrix e1 = tensor::Matrix::from_rows({{1, 0}});

@@ -188,6 +188,89 @@ TEST(SnapshotStore, LoadRejectsTrailingBytesTyped) {
                core::SnapshotTruncatedError);
 }
 
+// ---- The optional QNT8 quantized-tier section ----------------------------
+// Layout for the 3-row dim-4 sample: tag (4) + per-row f32 scales (12) +
+// int8 row block (12) = 28 trailing bytes after the name table.
+
+constexpr std::size_t kSampleQuantSectionSize = 4 + 3 * 4 + 3 * 4;
+
+TEST(SnapshotStore, QuantSectionRoundTripsBitForBit) {
+  const core::EmbeddingStore original = sample_store();
+  const std::string bytes = serialized_sample_store();
+  ASSERT_GE(bytes.size(), kSampleQuantSectionSize);
+  const std::size_t tag_at = bytes.size() - kSampleQuantSectionSize;
+  ASSERT_EQ(bytes.substr(tag_at, 4), "QNT8");
+  std::istringstream is(bytes, std::ios::binary);
+  const core::EmbeddingStore loaded = core::EmbeddingStore::load(is, 4);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const core::QuantRowView want = original.quant_view(i);
+    const core::QuantRowView got = loaded.quant_view(i);
+    EXPECT_EQ(got.scale, want.scale) << "row " << i;
+    EXPECT_EQ(got.qnorm, want.qnorm) << "row " << i;
+    EXPECT_EQ(got.enorm, want.enorm) << "row " << i;
+    EXPECT_EQ(got.norm, want.norm) << "row " << i;
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(loaded.qrow(i)[k], original.qrow(i)[k])
+          << "row " << i << " cell " << k;
+    }
+    EXPECT_EQ(loaded.norm(i), original.norm(i)) << "row " << i;
+  }
+}
+
+TEST(SnapshotStore, LegacyFileWithoutQuantSectionLoadsAndRebuildsTier) {
+  // A pre-QNT8 shard file is exactly today's bytes minus the trailing
+  // section; the tier is deterministic from the float rows, so loading
+  // one must produce the identical quantized state.
+  const core::EmbeddingStore original = sample_store();
+  const std::string bytes = serialized_sample_store();
+  const std::string legacy =
+      bytes.substr(0, bytes.size() - kSampleQuantSectionSize);
+  std::istringstream is(legacy, std::ios::binary);
+  const core::EmbeddingStore loaded = core::EmbeddingStore::load(is, 4);
+  expect_rows_equal(loaded, original);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.quant_view(i).scale, original.quant_view(i).scale);
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_EQ(loaded.qrow(i)[k], original.qrow(i)[k]);
+    }
+  }
+}
+
+TEST(SnapshotStore, LoadRejectsCorruptQuantSectionTyped) {
+  const std::string bytes = serialized_sample_store();
+  const std::size_t tag_at = bytes.size() - kSampleQuantSectionSize;
+  // A flipped byte in the scales, and one in the int8 block: both
+  // disagree with the deterministic rebuild from the (intact) float
+  // rows — the poisoned-tier signature.
+  for (const std::size_t victim : {tag_at + 5, tag_at + 4 + 12 + 2}) {
+    std::string corrupt = bytes;
+    corrupt[victim] = static_cast<char>(corrupt[victim] ^ '\x7F');
+    std::istringstream is(corrupt, std::ios::binary);
+    EXPECT_THROW((void)core::EmbeddingStore::load(is),
+                 core::SnapshotManifestError)
+        << "corrupt byte at " << victim;
+  }
+}
+
+TEST(SnapshotStore, LoadRejectsForeignTrailingSectionTyped) {
+  // Trailing bytes that are not a QNT8 section — a wrong tag, or a tag
+  // torn mid-write — are truncation-class damage, not a legacy file.
+  const std::string bytes = serialized_sample_store();
+  const std::size_t tag_at = bytes.size() - kSampleQuantSectionSize;
+  {
+    std::string corrupt = bytes;
+    corrupt[tag_at] = 'X';
+    std::istringstream is(corrupt, std::ios::binary);
+    EXPECT_THROW((void)core::EmbeddingStore::load(is),
+                 core::SnapshotTruncatedError);
+  }
+  {
+    std::istringstream is(bytes.substr(0, tag_at + 2), std::ios::binary);
+    EXPECT_THROW((void)core::EmbeddingStore::load(is),
+                 core::SnapshotTruncatedError);
+  }
+}
+
 TEST(SnapshotStore, LoadRejectsInconsistentHeaderTyped) {
   std::string bytes = serialized_sample_store();
   // Declare live = rows + 1 (header @32): internally inconsistent.
