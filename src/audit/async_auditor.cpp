@@ -79,7 +79,7 @@ std::future<ScreenReport> AsyncAuditor::enqueue(Job job) {
   // pop and report it before this thread runs again, and quiesce() must
   // never observe reported_ > submitted_.
   {
-    std::lock_guard<std::mutex> lock(progress_mu_);
+    util::MutexLock lock(progress_mu_);
     ++submitted_;
   }
   if (!queue_.push(std::move(job))) {
@@ -88,7 +88,7 @@ std::future<ScreenReport> AsyncAuditor::enqueue(Job job) {
     // retracted count must still wake quiesce() waiters — the predicate
     // may have just become true, and no report will ever notify again.
     {
-      std::lock_guard<std::mutex> lock(progress_mu_);
+      util::MutexLock lock(progress_mu_);
       --submitted_;
     }
     progress_cv_.notify_all();
@@ -115,7 +115,7 @@ void AsyncAuditor::consume() {
       // sibling consumer waits here (instead of inside pop()) while
       // this one assembles its chunk; it proceeds the moment the
       // hand-off lock drops, concurrently with this chunk's screening.
-      std::lock_guard<std::mutex> handoff(handoff_mu_);
+      util::MutexLock handoff(handoff_mu_);
       std::optional<Job> seed = queue_.pop();
       if (!seed) break;  // closed and fully drained: pool exit signal
       chunk.push_back(std::move(*seed));
@@ -159,7 +159,7 @@ void AsyncAuditor::process_batch(std::vector<Job> batch,
             // The chunk counts as a batch at its *last* commit, under
             // the same lock as the report count: a quiesce() woken by
             // the final report must already see the batch tallied.
-            std::lock_guard<std::mutex> lock(progress_mu_);
+            util::MutexLock lock(progress_mu_);
             ++reported_;
             if (delivered == batch.size()) ++batches_;
           }
@@ -175,7 +175,7 @@ void AsyncAuditor::process_batch(std::vector<Job> batch,
       batch[i].promise.set_exception(error);
     }
     {
-      std::lock_guard<std::mutex> lock(progress_mu_);
+      util::MutexLock lock(progress_mu_);
       reported_ += batch.size() - delivered;
       ++batches_;
     }
@@ -184,8 +184,8 @@ void AsyncAuditor::process_batch(std::vector<Job> batch,
 }
 
 void AsyncAuditor::quiesce() {
-  std::unique_lock<std::mutex> lock(progress_mu_);
-  progress_cv_.wait(lock, [this] { return reported_ == submitted_; });
+  util::MutexLock lock(progress_mu_);
+  while (reported_ != submitted_) progress_cv_.wait(progress_mu_);
 }
 
 void AsyncAuditor::save_corpus(const std::string& dir) {
@@ -195,7 +195,7 @@ void AsyncAuditor::save_corpus(const std::string& dir) {
 
 void AsyncAuditor::close() {
   queue_.close();  // push fails from here on; pending items stay poppable
-  std::lock_guard<std::mutex> lock(close_mu_);
+  util::MutexLock lock(close_mu_);
   if (joined_) return;
   for (std::thread& consumer : consumers_) {
     consumer.join();  // each consumer drains its share, then exits
@@ -204,17 +204,17 @@ void AsyncAuditor::close() {
 }
 
 std::size_t AsyncAuditor::submitted() const {
-  std::lock_guard<std::mutex> lock(progress_mu_);
+  util::MutexLock lock(progress_mu_);
   return submitted_;
 }
 
 std::size_t AsyncAuditor::reported() const {
-  std::lock_guard<std::mutex> lock(progress_mu_);
+  util::MutexLock lock(progress_mu_);
   return reported_;
 }
 
 std::size_t AsyncAuditor::batches() const {
-  std::lock_guard<std::mutex> lock(progress_mu_);
+  util::MutexLock lock(progress_mu_);
   return batches_;
 }
 

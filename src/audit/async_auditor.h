@@ -53,16 +53,15 @@
 // else — use before the first submit(), or after quiesce()/close().
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "audit/audit_service.h"
+#include "util/thread_annotations.h"
 
 namespace gnn4ip::audit {
 
@@ -170,16 +169,16 @@ class AsyncAuditor {
 
   /// Serializes {pop chunk, reserve tickets}: ticket order == dequeue
   /// order, the invariant the commit turnstile depends on.
-  std::mutex handoff_mu_;
+  util::Mutex handoff_mu_{util::lock_rank::kHandoff};
 
-  mutable std::mutex progress_mu_;
-  std::condition_variable progress_cv_;
-  std::size_t submitted_ = 0;  // guarded by progress_mu_
-  std::size_t reported_ = 0;   // guarded by progress_mu_
-  std::size_t batches_ = 0;    // guarded by progress_mu_
+  mutable util::Mutex progress_mu_{util::lock_rank::kProgress};
+  util::CondVar progress_cv_;
+  std::size_t submitted_ GNN4IP_GUARDED_BY(progress_mu_) = 0;
+  std::size_t reported_ GNN4IP_GUARDED_BY(progress_mu_) = 0;
+  std::size_t batches_ GNN4IP_GUARDED_BY(progress_mu_) = 0;
 
-  std::mutex close_mu_;  // serializes close(); joined_ guarded by it
-  bool joined_ = false;
+  util::Mutex close_mu_{util::lock_rank::kClose};  // serializes close()
+  bool joined_ GNN4IP_GUARDED_BY(close_mu_) = false;
   /// Consumer pool — last member: started after everything above.
   std::vector<std::thread> consumers_;
 };

@@ -164,20 +164,20 @@ AuditService AuditService::from_model_file(
 }
 
 std::size_t AuditService::reserve_tickets(std::size_t n) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
+  util::MutexLock lock(commit_mu_);
   const std::size_t first = tickets_issued_;
   tickets_issued_ += n;
   return first;
 }
 
 void AuditService::commit_begin(std::size_t ticket) {
-  std::unique_lock<std::mutex> lock(commit_mu_);
-  commit_cv_.wait(lock, [&] { return next_commit_ == ticket; });
+  util::MutexLock lock(commit_mu_);
+  while (next_commit_ != ticket) commit_cv_.wait(commit_mu_);
 }
 
 void AuditService::commit_end() {
   {
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    util::MutexLock lock(commit_mu_);
     ++next_commit_;
   }
   commit_cv_.notify_all();
@@ -200,15 +200,23 @@ std::size_t AuditService::admit(const std::string& name,
 }
 
 std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
-  const auto evict = [this](const std::string& victim) {
-    corpus_->remove(index_by_name_.at(victim));
-    policy_->erase(victim);
-    index_by_name_.erase(victim);
-  };
+  // The helper lambdas below touch state_mu_-guarded fields; the caller
+  // holds state_mu_ exclusively (REQUIRES on this function), but the
+  // analysis examines lambda bodies out of that context, so they opt
+  // out individually.
+  const auto evict =
+      [this](const std::string& victim) GNN4IP_NO_THREAD_SAFETY_ANALYSIS {
+        corpus_->remove(index_by_name_.at(victim));
+        policy_->erase(victim);
+        index_by_name_.erase(victim);
+      };
   if (options_.max_resident > 0) {
     while (corpus_->live_count() > options_.max_resident) {
-      const std::optional<std::string> victim = policy_->victim(
-          [this](const std::string& n) { return pinned_.count(n) == 0; });
+      const std::optional<std::string> victim =
+          policy_->victim([this](const std::string& n)
+                              GNN4IP_NO_THREAD_SAFETY_ANALYSIS {
+                                return pinned_.count(n) == 0;
+                              });
       if (!victim) break;  // everything left is pinned library IP
       evict(*victim);
     }
@@ -221,10 +229,12 @@ std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
     for (std::size_t s = 0; s < corpus_->num_shards(); ++s) {
       while (corpus_->shard_live_count(s) > corpus_->shard_budget()) {
         const std::optional<std::string> victim =
-            policy_->victim([this, s](const std::string& n) {
-              return pinned_.count(n) == 0 &&
-                     corpus_->shard_of(index_by_name_.at(n)) == s;
-            });
+            policy_->victim([this, s](const std::string& n)
+                                GNN4IP_NO_THREAD_SAFETY_ANALYSIS {
+                                  return pinned_.count(n) == 0 &&
+                                         corpus_->shard_of(
+                                             index_by_name_.at(n)) == s;
+                                });
         if (!victim) break;  // the shard holds only pinned library IP
         evict(*victim);
       }
@@ -236,6 +246,8 @@ std::vector<std::size_t> AuditService::enforce_capacity_and_compact() {
   // empty mapping means identity to the callers.
   if (corpus_->live_count() == corpus_->size()) return {};
   const std::vector<std::size_t> mapping = corpus_->compact();
+  // lint:allow(unordered-iter): independent per-entry remap — no
+  // cross-entry arithmetic, so iteration order cannot leak into state.
   for (auto& [name, index] : index_by_name_) {
     index = mapping[index];
     GNN4IP_ENSURE(index != core::ShardedCorpus::kNoIndex,
@@ -268,7 +280,7 @@ Submission AuditService::add_library(std::string name,
   const std::size_t ticket = reserve_tickets(1);
   commit_begin(ticket);
   try {
-    std::unique_lock<std::shared_mutex> state(state_mu_);
+    util::WriterLock state(state_mu_);
     const bool replaced = index_by_name_.count(s.name) != 0;
     const std::size_t row = admit(s.name, embedding);
     pinned_.insert(s.name);
@@ -315,7 +327,7 @@ std::vector<ScreenReport> AuditService::screen() {
   {
     // Drain and reserve atomically: two sync callers racing here could
     // otherwise dequeue in one order and ticket in the other.
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    util::MutexLock lock(sync_mu_);
     batch = queue_.drain();
     first_ticket = reserve_tickets(batch.size());
   }
@@ -328,7 +340,7 @@ void AuditService::commit_one(std::size_t ticket, const std::string& name,
                               ScreenReport& report,
                               std::vector<ScreenReport>* prior,
                               std::size_t prior_count) {
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  util::WriterLock state(state_mu_);
   const bool replaced = index_by_name_.count(name) != 0;
   const std::size_t row = admit(name, embedding);
   if (admission_log_) {
@@ -465,7 +477,7 @@ std::vector<Verdict> AuditService::top_k(const std::string& name,
   // Shared state lock for the whole read: commits (which may compact
   // and renumber) wait, concurrent readers overlap, so the index stays
   // valid across the corpus scan below.
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  util::ReaderLock state(state_mu_);
   const auto it = index_by_name_.find(name);
   GNN4IP_ENSURE(it != index_by_name_.end(),
                 "AuditService::top_k: '" + name + "' is not resident");
@@ -488,10 +500,11 @@ void AuditService::save_corpus(const std::string& dir) {
   const std::size_t ticket = reserve_tickets(1);
   commit_begin(ticket);
   try {
-    std::shared_lock<std::shared_mutex> state(state_mu_);
+    util::ReaderLock state(state_mu_);
     // The v1 service file is line-oriented; a name holding a newline
     // cannot round-trip, so refuse to write a snapshot that a later
     // load_corpus would misparse.
+    // lint:allow(unordered-iter): pure validation scan; order-free.
     for (const auto& [nm, idx] : index_by_name_) {
       if (nm.find('\n') != std::string::npos) {
         throw core::SnapshotIoError(
@@ -502,6 +515,7 @@ void AuditService::save_corpus(const std::string& dir) {
     corpus_->save(dir, model_fingerprint_);
     std::vector<std::pair<std::size_t, std::string>> entries;
     entries.reserve(index_by_name_.size());
+    // lint:allow(unordered-iter): entries are sorted before writing.
     for (const auto& [nm, idx] : index_by_name_) entries.emplace_back(idx, nm);
     std::sort(entries.begin(), entries.end());
     std::vector<std::string> pins(pinned_.begin(), pinned_.end());
@@ -586,7 +600,8 @@ void AuditService::load_corpus(const std::string& dir) {
     // never-restarted service would hold — evictions after a warm
     // restart pick the same victims.
     std::sort(persisted.entries.begin(), persisted.entries.end());
-    std::unique_lock<std::shared_mutex> state(state_mu_);
+    util::WriterLock state(state_mu_);
+    // lint:allow(unordered-iter): erases are commutative; order-free.
     for (const auto& [nm, idx] : index_by_name_) policy_->erase(nm);
     corpus_ = std::move(fresh);
     index_by_name_ = std::move(index);
@@ -603,29 +618,29 @@ void AuditService::load_corpus(const std::string& dir) {
 }
 
 void AuditService::pin(const std::string& name) {
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  util::WriterLock state(state_mu_);
   GNN4IP_ENSURE(index_by_name_.count(name) != 0,
                 "AuditService::pin: '" + name + "' is not resident");
   pinned_.insert(name);
 }
 
 void AuditService::unpin(const std::string& name) {
-  std::unique_lock<std::shared_mutex> state(state_mu_);
+  util::WriterLock state(state_mu_);
   pinned_.erase(name);
 }
 
 bool AuditService::pinned(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  util::ReaderLock state(state_mu_);
   return pinned_.count(name) != 0;
 }
 
 bool AuditService::contains(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  util::ReaderLock state(state_mu_);
   return index_by_name_.count(name) != 0;
 }
 
 std::size_t AuditService::index_of(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> state(state_mu_);
+  util::ReaderLock state(state_mu_);
   const auto it = index_by_name_.find(name);
   return it == index_by_name_.end() ? core::ShardedCorpus::kNoIndex
                                     : it->second;

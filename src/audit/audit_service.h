@@ -46,12 +46,9 @@
 // daemon consumers on top of screen_batch().
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -64,6 +61,7 @@
 #include "gnn/hw2vec.h"
 #include "train/dataset.h"
 #include "util/bounded_queue.h"
+#include "util/thread_annotations.h"
 
 namespace gnn4ip::audit {
 
@@ -295,14 +293,15 @@ class AuditService {
   /// Admit an embedding under `name`, replacing any resident row of the
   /// same name. Returns the (pre-compaction) row index. Caller holds
   /// the commit slot and state_mu_ exclusively.
-  std::size_t admit(const std::string& name,
-                    const tensor::Matrix& embedding);
+  std::size_t admit(const std::string& name, const tensor::Matrix& embedding)
+      GNN4IP_REQUIRES(state_mu_);
   /// Evict down to max_resident, then down to shard_budget per shard
   /// (never pinned entries), then compact the corpus and remap the name
   /// index. Returns the old→new mapping; empty when nothing was removed
   /// (indices unchanged). Caller holds the commit slot and state_mu_
   /// exclusively.
-  std::vector<std::size_t> enforce_capacity_and_compact();
+  std::vector<std::size_t> enforce_capacity_and_compact()
+      GNN4IP_REQUIRES(state_mu_);
 
   AuditOptions options_;
   gnn::Hw2Vec model_;
@@ -312,30 +311,38 @@ class AuditService {
   /// Owned indirectly so load_corpus() can build + validate a fresh
   /// corpus off to the side and swap it in only once every typed check
   /// has passed (ShardedCorpus itself is immovable — it owns mutexes).
+  /// The pointer is reassigned only by load_corpus, inside a commit
+  /// slot and under state_mu_ exclusive; the corpus object itself does
+  /// its own internal locking, so screen_batch's expensive phase reads
+  /// the pointer lock-free (not GUARDED_BY — annotating it would force
+  /// the fully-parallel embed phase to hold state_mu_ shared and
+  /// serialize against commit slots).
   std::unique_ptr<core::ShardedCorpus> corpus_;
-  std::unique_ptr<EvictionPolicy> policy_;
+  std::unique_ptr<EvictionPolicy> policy_ GNN4IP_PT_GUARDED_BY(state_mu_);
   /// Replay seam (audit/admission_log.h); may be null.
+  /// Configuration-time (set before consumers stream), so unguarded.
   std::shared_ptr<AdmissionLog> admission_log_;
   util::BoundedQueue<AuditItem> queue_;
 
   /// Guards index_by_name_/pinned_/policy_: exclusive inside a commit
   /// slot (mutations are already serialized by the turnstile; the lock
   /// exists for the readers), shared in top_k/contains/index_of/pinned.
-  mutable std::shared_mutex state_mu_;
-  std::unordered_map<std::string, std::size_t> index_by_name_;
-  std::unordered_set<std::string> pinned_;
+  mutable util::SharedMutex state_mu_{util::lock_rank::kState};
+  std::unordered_map<std::string, std::size_t> index_by_name_
+      GNN4IP_GUARDED_BY(state_mu_);
+  std::unordered_set<std::string> pinned_ GNN4IP_GUARDED_BY(state_mu_);
 
   /// The admission-ticket turnstile: tickets_issued_ is the next ticket
   /// to hand out, next_commit_ the next allowed to commit. Commits
   /// proceed in strictly increasing ticket order across all consumers.
-  std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  std::size_t tickets_issued_ = 0;  // guarded by commit_mu_
-  std::size_t next_commit_ = 0;     // guarded by commit_mu_
+  util::Mutex commit_mu_{util::lock_rank::kCommit};
+  util::CondVar commit_cv_;
+  std::size_t tickets_issued_ GNN4IP_GUARDED_BY(commit_mu_) = 0;
+  std::size_t next_commit_ GNN4IP_GUARDED_BY(commit_mu_) = 0;
 
   /// Serializes {drain queue_, reserve tickets} in screen() so two
   /// legacy sync callers cannot invert pop order vs ticket order.
-  std::mutex sync_mu_;
+  util::Mutex sync_mu_{util::lock_rank::kSync};
 };
 
 }  // namespace gnn4ip::audit

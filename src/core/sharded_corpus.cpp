@@ -23,7 +23,8 @@ ShardedCorpus::ShardedCorpus(std::size_t num_shards,
   globals_.resize(num_shards);
   stripes_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    stripes_.push_back(std::make_unique<std::shared_mutex>());
+    stripes_.push_back(
+        std::make_unique<util::SharedMutex>(util::lock_rank::stripe(s)));
   }
 }
 
@@ -40,26 +41,20 @@ std::size_t ShardedCorpus::placement(std::string_view name,
   return static_cast<std::size_t>(h % num_shards);
 }
 
-std::vector<std::shared_lock<std::shared_mutex>>
-ShardedCorpus::lock_all_stripes_shared() const {
-  std::vector<std::shared_lock<std::shared_mutex>> locks;
-  locks.reserve(stripes_.size());
-  for (const std::unique_ptr<std::shared_mutex>& stripe : stripes_) {
-    locks.emplace_back(*stripe);
-  }
-  return locks;
+ShardedCorpus::StripeGuard ShardedCorpus::lock_all_stripes_shared() const {
+  return StripeGuard(stripes_);
 }
 
 std::size_t ShardedCorpus::add(std::string name,
                                const tensor::Matrix& embedding) {
   GNN4IP_ENSURE(!embedding.empty(), "ShardedCorpus: empty embedding");
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   // The admission ticket: whoever wins index_mu_ next gets the next
   // global id, so interleaved admissions from several consumers fold
   // into one deterministic insertion order. The placed shard's stripe
   // nests inside (index before stripe everywhere), blocking only that
   // shard's readers for the append.
-  std::unique_lock<std::shared_mutex> index(index_mu_);
+  util::WriterLock index(index_mu_);
   if (dim_ == 0) {
     dim_ = embedding.size();
   } else {
@@ -71,7 +66,7 @@ std::size_t ShardedCorpus::add(std::string name,
   const std::size_t s = placement(name, shards_.size());
   const std::size_t global = entries_.size();
   {
-    std::unique_lock<std::shared_mutex> stripe(*stripes_[s]);
+    util::WriterLock stripe(*stripes_[s]);
     const std::size_t local = shards_[s].add(std::move(name), embedding);
     entries_.push_back({s, local});
     globals_[s].push_back(global);
@@ -81,23 +76,23 @@ std::size_t ShardedCorpus::add(std::string name,
 }
 
 std::size_t ShardedCorpus::size() const {
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock index(index_mu_);
   return entries_.size();
 }
 
 std::size_t ShardedCorpus::dim() const {
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock index(index_mu_);
   return dim_;
 }
 
 std::size_t ShardedCorpus::live_count() const {
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock index(index_mu_);
   return live_count_;
 }
 
 const std::string& ShardedCorpus::name(std::size_t i) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock epoch(epoch_mu_);
+  util::ReaderLock index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
   // Names are stable between compacts (EmbeddingStore::add never moves
   // the std::string storage of earlier names), so returning the
@@ -106,32 +101,32 @@ const std::string& ShardedCorpus::name(std::size_t i) const {
 }
 
 std::span<const float> ShardedCorpus::row(std::size_t i) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock epoch(epoch_mu_);
+  util::ReaderLock index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: row index out of range");
   const EntryRef e = entries_[i];
-  std::shared_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+  util::ReaderLock stripe(*stripes_[e.shard]);
   return row_nolock(e);
 }
 
 void ShardedCorpus::remove(std::size_t i) {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::unique_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock epoch(epoch_mu_);
+  util::WriterLock index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: remove out of range");
   const EntryRef e = entries_[i];
   {
-    std::unique_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+    util::WriterLock stripe(*stripes_[e.shard]);
     shards_[e.shard].remove(e.local);
   }
   --live_count_;
 }
 
 bool ShardedCorpus::live(std::size_t i) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock epoch(epoch_mu_);
+  util::ReaderLock index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
   const EntryRef e = entries_[i];
-  std::shared_lock<std::shared_mutex> stripe(*stripes_[e.shard]);
+  util::ReaderLock stripe(*stripes_[e.shard]);
   return shards_[e.shard].live(e.local);
 }
 
@@ -142,8 +137,8 @@ std::vector<std::size_t> ShardedCorpus::compact() {
   // shard_of() read under index_mu_ alone (they never touch row data,
   // so they skip the epoch), and entries_/live_count_/globals_ are
   // about to be rewritten.
-  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::unique_lock<std::shared_mutex> index(index_mu_);
+  util::WriterLock epoch(epoch_mu_);
+  util::WriterLock index(index_mu_);
   // Compact each shard, then renumber the survivors densely in global
   // insertion order — the numbering a single-shard compact() would have
   // produced, so the mapping values never depend on the shard count.
@@ -173,7 +168,7 @@ std::vector<std::size_t> ShardedCorpus::compact() {
 }
 
 std::size_t ShardedCorpus::shard_of(std::size_t i) const {
-  std::shared_lock<std::shared_mutex> index(index_mu_);
+  util::ReaderLock index(index_mu_);
   GNN4IP_ENSURE(i < entries_.size(), "ShardedCorpus: index out of range");
   return entries_[i].shard;
 }
@@ -183,8 +178,8 @@ std::size_t ShardedCorpus::shard_live_count(std::size_t s) const {
   // Epoch shared: compact() rewrites the shard stores under the epoch
   // alone (it already excludes every stripe holder), so a bare stripe
   // lock would race with it.
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::shared_lock<std::shared_mutex> stripe(*stripes_[s]);
+  util::ReaderLock epoch(epoch_mu_);
+  util::ReaderLock stripe(*stripes_[s]);
   return shards_[s].live_count();
 }
 
@@ -194,19 +189,22 @@ const EmbeddingStore& ShardedCorpus::shard(std::size_t s) const {
 }
 
 float ShardedCorpus::score(std::size_t i, std::size_t j) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::shared_lock<std::shared_mutex> index(index_mu_);
-  GNN4IP_ENSURE(i < entries_.size() && j < entries_.size(),
-                "ShardedCorpus: pair index out of range");
-  const EntryRef a = entries_[i];
-  const EntryRef b = entries_[j];
-  index.unlock();
-  const auto stripes = lock_all_stripes_shared();
+  util::ReaderLock epoch(epoch_mu_);
+  EntryRef a;
+  EntryRef b;
+  {
+    util::ReaderLock index(index_mu_);
+    GNN4IP_ENSURE(i < entries_.size() && j < entries_.size(),
+                  "ShardedCorpus: pair index out of range");
+    a = entries_[i];
+    b = entries_[j];
+  }
+  const StripeGuard stripes = lock_all_stripes_shared();
   return cosine_pair(row_nolock(a), row_nolock(b));
 }
 
 tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   // Snapshot the index under index_mu_, then scan under the shard
   // stripes: rows admitted after the snapshot (global id ≥ n, or a
   // local slot past the snapshot of its shard) are skipped, so the
@@ -214,7 +212,7 @@ tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
   std::vector<EntryRef> query_refs;
   std::size_t n = 0;
   {
-    std::shared_lock<std::shared_mutex> index(index_mu_);
+    util::ReaderLock index(index_mu_);
     GNN4IP_ENSURE(first_new <= entries_.size(),
                   "score_new_rows: first_new past the corpus end");
     n = entries_.size();
@@ -225,7 +223,7 @@ tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
   const std::size_t new_rows = n - first_new;
   tensor::Matrix result(new_rows, n);
   if (new_rows == 0) return result;
-  const auto stripes = lock_all_stripes_shared();
+  const StripeGuard stripes = lock_all_stripes_shared();
   // Query rows and norms resolve once on the coordinating thread (the
   // per-global row() lookup is a bounds-checked double indirection —
   // too heavy for the inner loop of the hot screening path); each shard
@@ -278,11 +276,11 @@ tensor::Matrix ShardedCorpus::score_new_rows(std::size_t first_new) const {
 
 std::vector<ScreenRow> ShardedCorpus::screen_new_rows(std::size_t first_new,
                                                       float delta) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   std::vector<EntryRef> query_refs;
   std::size_t n = 0;
   {
-    std::shared_lock<std::shared_mutex> index(index_mu_);
+    util::ReaderLock index(index_mu_);
     GNN4IP_ENSURE(first_new <= entries_.size(),
                   "screen_new_rows: first_new past the corpus end");
     n = entries_.size();
@@ -293,7 +291,7 @@ std::vector<ScreenRow> ShardedCorpus::screen_new_rows(std::size_t first_new,
   const std::size_t new_rows = n - first_new;
   std::vector<ScreenRow> result(new_rows);
   if (new_rows == 0) return result;
-  const auto stripes = lock_all_stripes_shared();
+  const StripeGuard stripes = lock_all_stripes_shared();
   const std::size_t d = row_nolock(query_refs[0]).size();
   std::vector<std::span<const float>> query_rows(new_rows);
   std::vector<float> query_norms(new_rows);
@@ -494,18 +492,18 @@ std::vector<ScreenRow> ShardedCorpus::screen_new_rows(std::size_t first_new,
 
 std::vector<PairScore> ShardedCorpus::top_k(std::size_t i,
                                             std::size_t k) const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   EntryRef query_ref;
   std::size_t n = 0;
   std::size_t live_now = 0;
   {
-    std::shared_lock<std::shared_mutex> index(index_mu_);
+    util::ReaderLock index(index_mu_);
     GNN4IP_ENSURE(i < entries_.size(), "top_k: row index out of range");
     query_ref = entries_[i];
     n = entries_.size();
     live_now = live_count_;
   }
-  const auto stripes = lock_all_stripes_shared();
+  const StripeGuard stripes = lock_all_stripes_shared();
   GNN4IP_ENSURE(shards_[query_ref.shard].live(query_ref.local),
                 "top_k: row has been removed");
   const std::span<const float> query = row_nolock(query_ref);
@@ -610,7 +608,7 @@ std::vector<PairScore> ShardedCorpus::top_k(std::size_t i,
 }
 
 std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   // Fan out over the first member of each pair; worker w writes only
   // per_a[w], and the buckets concatenate in ascending-a order — the
   // exact pair order of the single-shard path. Rows and norms resolve
@@ -621,7 +619,7 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
   std::vector<std::size_t> live_ids;
   std::vector<EntryRef> live_refs;
   {
-    std::shared_lock<std::shared_mutex> index(index_mu_);
+    util::ReaderLock index(index_mu_);
     live_ids.reserve(live_count_);
     live_refs.reserve(live_count_);
     for (std::size_t g = 0; g < entries_.size(); ++g) {
@@ -630,7 +628,7 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
       live_refs.push_back(e);
     }
   }
-  const auto stripes = lock_all_stripes_shared();
+  const StripeGuard stripes = lock_all_stripes_shared();
   std::size_t kept = 0;
   for (std::size_t idx = 0; idx < live_ids.size(); ++idx) {
     const EntryRef& e = live_refs[idx];
@@ -673,7 +671,7 @@ void ShardedCorpus::fan_out(
     {
       // Concurrent consumers may race the first fan_out; the spawn is
       // one-time, so a plain mutex around the check is cheap enough.
-      std::lock_guard<std::mutex> lock(pool_mu_);
+      util::MutexLock lock(pool_mu_);
       if (!pool_) {
         pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
       }
@@ -815,7 +813,7 @@ void ShardedCorpus::save(const std::string& dir,
   // Epoch exclusive: every operation (reads, admissions, compaction)
   // holds the epoch shared, so an exclusive hold is a full quiesce of
   // the corpus — the snapshot is one consistent instant.
-  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::WriterLock epoch(epoch_mu_);
   const std::filesystem::path root(dir);
   std::error_code ec;
   std::filesystem::create_directories(root, ec);
@@ -931,15 +929,16 @@ void ShardedCorpus::restore(const std::string& dir,
   }
   // Swap in under the epoch: identical discipline to compact(), the
   // other whole-corpus rewrite.
-  std::unique_lock<std::shared_mutex> epoch(epoch_mu_);
-  std::unique_lock<std::shared_mutex> index(index_mu_);
+  util::WriterLock epoch(epoch_mu_);
+  util::WriterLock index(index_mu_);
   shards_ = std::move(stores);
   entries_ = std::move(entries);
   globals_ = std::move(globals);
   dim_ = manifest.dim;
   live_count_ = live;
   while (stripes_.size() < shards_.size()) {
-    stripes_.push_back(std::make_unique<std::shared_mutex>());
+    stripes_.push_back(std::make_unique<util::SharedMutex>(
+        util::lock_rank::stripe(stripes_.size())));
   }
   stripes_.resize(shards_.size());
 }
@@ -965,11 +964,11 @@ std::vector<PairScore> ShardedCorpus::flag_prefiltered(float delta) const {
   // have discarded anyway — and every surviving pair rescores with the
   // scalar kernel, so the flagged set is bit-identical to the exact
   // path's.
-  std::shared_lock<std::shared_mutex> epoch(epoch_mu_);
+  util::ReaderLock epoch(epoch_mu_);
   std::vector<std::size_t> live_ids;
   std::vector<EntryRef> live_refs;
   {
-    std::shared_lock<std::shared_mutex> index(index_mu_);
+    util::ReaderLock index(index_mu_);
     live_ids.reserve(live_count_);
     live_refs.reserve(live_count_);
     for (std::size_t g = 0; g < entries_.size(); ++g) {
@@ -977,7 +976,7 @@ std::vector<PairScore> ShardedCorpus::flag_prefiltered(float delta) const {
       live_refs.push_back(entries_[g]);
     }
   }
-  const auto stripes = lock_all_stripes_shared();
+  const StripeGuard stripes = lock_all_stripes_shared();
   std::size_t kept = 0;
   for (std::size_t idx = 0; idx < live_ids.size(); ++idx) {
     const EntryRef& e = live_refs[idx];

@@ -48,9 +48,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,6 +56,7 @@
 #include "core/cosine_kernels.h"
 #include "core/embedding_store.h"
 #include "tensor/matrix.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace gnn4ip::core {
@@ -237,11 +236,37 @@ class ShardedCorpus {
     std::size_t local = 0;
   };
 
+  /// RAII shared hold of *every* stripe, ascending shard id — the
+  /// whole-corpus read lock of the scanning paths. A dynamic lock set
+  /// is inexpressible in the capability analysis (hence the _unchecked
+  /// acquisitions); the runtime lock-order validator still checks the
+  /// ascending stripe ranks on every acquisition.
+  class StripeGuard {
+   public:
+    explicit StripeGuard(
+        const std::vector<std::unique_ptr<util::SharedMutex>>& stripes) {
+      locked_.reserve(stripes.size());
+      for (const std::unique_ptr<util::SharedMutex>& s : stripes) {
+        s->lock_shared_unchecked();
+        locked_.push_back(s.get());
+      }
+    }
+    ~StripeGuard() {
+      for (auto it = locked_.rbegin(); it != locked_.rend(); ++it) {
+        (*it)->unlock_shared_unchecked();
+      }
+    }
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+   private:
+    std::vector<util::SharedMutex*> locked_;
+  };
+
   /// Take every shard stripe shared, ascending — the whole-corpus read
   /// lock used by the scanning paths (consistent order with admitters,
   /// which take index_mu_ then one stripe, so no deadlock).
-  [[nodiscard]] std::vector<std::shared_lock<std::shared_mutex>>
-  lock_all_stripes_shared() const;
+  [[nodiscard]] StripeGuard lock_all_stripes_shared() const;
 
   /// row() without locks — callers hold the stripes they touch.
   [[nodiscard]] std::span<const float> row_nolock(const EntryRef& e) const {
@@ -256,28 +281,38 @@ class ShardedCorpus {
   std::size_t shard_budget_ = 0;
 
   /// Global epoch: shared by every operation, exclusive by compact().
-  mutable std::shared_mutex epoch_mu_;
+  mutable util::SharedMutex epoch_mu_{util::lock_rank::kEpoch};
   /// Guards the global index space (entries_, live_count_, dim_):
   /// shared by readers, exclusive (briefly) by add/remove. Acquisition
   /// order of the exclusive lock is the deterministic admission ticket.
-  mutable std::shared_mutex index_mu_;
+  mutable util::SharedMutex index_mu_{util::lock_rank::kIndex};
   /// One reader/writer stripe per shard, guarding that shard's store
-  /// and its local→global table. Allocated once (shared_mutex is
-  /// immovable); never resized after construction.
-  mutable std::vector<std::unique_ptr<std::shared_mutex>> stripes_;
+  /// and its local→global table. Allocated once (SharedMutex is
+  /// immovable); never resized after construction. Ranked ascending by
+  /// shard id (lock_rank::stripe), so the validator enforces the
+  /// documented ascending acquisition order.
+  mutable std::vector<std::unique_ptr<util::SharedMutex>> stripes_;
   /// Guards the lazy spawn of pool_ (concurrent consumers may race the
   /// first fan_out).
-  mutable std::mutex pool_mu_;
+  mutable util::Mutex pool_mu_{util::lock_rank::kPoolSpawn};
 
-  std::size_t dim_ = 0;
-  std::size_t live_count_ = 0;
+  std::size_t dim_ GNN4IP_GUARDED_BY(index_mu_) = 0;
+  std::size_t live_count_ GNN4IP_GUARDED_BY(index_mu_) = 0;
   /// Owned workers for explicit num_threads > 1, spawned on first
   /// fan_out (0 defers to ThreadPool::shared(), which needs no owner).
-  mutable std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::unique_ptr<util::ThreadPool> pool_ GNN4IP_GUARDED_BY(pool_mu_);
+  /// shards_ and globals_ are guarded by the *stripes*: shard s's store
+  /// and its local→global table are written only under stripe s
+  /// exclusive (or the epoch exclusive, which quiesces every stripe
+  /// holder) and read under stripe s shared. A per-element dynamic
+  /// guard is inexpressible in the capability analysis, so these stay
+  /// unannotated — the stripe ranks keep the runtime validator's
+  /// coverage.
   std::vector<EmbeddingStore> shards_;
-  std::vector<EntryRef> entries_;  // global index -> (shard, local)
+  std::vector<EntryRef> entries_
+      GNN4IP_GUARDED_BY(index_mu_);  // global index -> (shard, local)
   // Per shard: local index -> global index (appended under the shard's
-  // stripe, rebuilt by compact()).
+  // stripe, rebuilt by compact()). Stripe-guarded like shards_ (above).
   std::vector<std::vector<std::size_t>> globals_;
 };
 

@@ -11,14 +11,14 @@ namespace gnn4ip::gnn {
 
 std::shared_ptr<const tensor::Csr> PooledAdjCache::find(
     const std::vector<std::size_t>& kept) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = entries_.find(kept);
   return it == entries_.end() ? nullptr : it->second;
 }
 
 void PooledAdjCache::insert(const std::vector<std::size_t>& kept,
                             std::shared_ptr<const tensor::Csr> adj) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   if (entries_.size() >= kMaxEntries &&
       entries_.find(kept) == entries_.end()) {
     return;  // full: keep the resident (typically inference-stable) keys
@@ -27,7 +27,7 @@ void PooledAdjCache::insert(const std::vector<std::size_t>& kept,
 }
 
 std::size_t PooledAdjCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return entries_.size();
 }
 

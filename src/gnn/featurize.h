@@ -13,13 +13,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
 #include "tensor/csr.h"
 #include "tensor/matrix.h"
+#include "util/thread_annotations.h"
 
 namespace gnn4ip::gnn {
 
@@ -47,9 +47,11 @@ class PooledAdjCache {
 
  private:
   static constexpr std::size_t kMaxEntries = 64;
-  mutable std::mutex mu_;
+  // Innermost rank: taken from inside pool workers during an embed
+  // fan-out, so it must outrank every pool lock.
+  mutable util::Mutex mu_{util::lock_rank::kFeaturize};
   std::map<std::vector<std::size_t>, std::shared_ptr<const tensor::Csr>>
-      entries_;
+      entries_ GNN4IP_GUARDED_BY(mu_);
 };
 
 /// Tensors for one graph. `edges` is the (deduplicated, self-loop-free)

@@ -15,15 +15,14 @@
 // enqueued before close() is ever lost.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "util/contract.h"
+#include "util/thread_annotations.h"
 
 namespace gnn4ip::util {
 
@@ -42,7 +41,7 @@ class BoundedQueue {
   /// pending or close() has been called.
   [[nodiscard]] bool try_push(T&& value) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -56,9 +55,8 @@ class BoundedQueue {
   /// queue is (or becomes, while waiting) closed.
   [[nodiscard]] bool push(T&& value) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      space_cv_.wait(
-          lock, [this] { return closed_ || items_.size() < capacity_; });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.size() >= capacity_) space_cv_.wait(mu_);
       if (closed_) return false;
       items_.push_back(std::move(value));
     }
@@ -73,8 +71,8 @@ class BoundedQueue {
   [[nodiscard]] std::optional<T> pop() {
     std::optional<T> value;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      items_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) items_cv_.wait(mu_);
       if (items_.empty()) return std::nullopt;  // closed and fully drained
       value.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -92,7 +90,7 @@ class BoundedQueue {
   [[nodiscard]] std::optional<T> try_pop() {
     std::optional<T> value;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (items_.empty()) return std::nullopt;
       value.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -106,7 +104,7 @@ class BoundedQueue {
   [[nodiscard]] std::vector<T> drain() {
     std::vector<T> batch;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       batch.reserve(items_.size());
       for (T& item : items_) batch.push_back(std::move(item));
       items_.clear();
@@ -119,7 +117,7 @@ class BoundedQueue {
   /// fails, while pending items stay poppable. Idempotent.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     // Wake blocked producers (to fail) and blocked consumers (to drain
@@ -129,12 +127,12 @@ class BoundedQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
   [[nodiscard]] bool empty() const { return size() == 0; }
@@ -142,11 +140,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable space_cv_;  // waited on by blocked producers
-  std::condition_variable items_cv_;  // waited on by blocked consumers
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{lock_rank::kQueue};
+  CondVar space_cv_;  // waited on by blocked producers
+  CondVar items_cv_;  // waited on by blocked consumers
+  std::deque<T> items_ GNN4IP_GUARDED_BY(mu_);
+  bool closed_ GNN4IP_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gnn4ip::util

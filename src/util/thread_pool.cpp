@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -25,19 +25,22 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   std::uint64_t last_epoch = 0;
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (fn_ != nullptr && epoch_ != last_epoch);
-    });
-    if (stop_) return;
-    last_epoch = epoch_;
-    ++active_;
-    lock.unlock();
+    {
+      MutexLock lock(mu_);
+      while (!stop_ && !(fn_ != nullptr && epoch_ != last_epoch)) {
+        work_cv_.wait(mu_);
+      }
+      if (stop_) return;
+      last_epoch = epoch_;
+      ++active_;
+    }
     run_current_batch();
-    lock.lock();
-    --active_;
-    if (active_ == 0) done_cv_.notify_all();
+    {
+      MutexLock lock(mu_);
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
   }
 }
 
@@ -47,7 +50,7 @@ void ThreadPool::run_current_batch() {
     try {
       (*fn_)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
       next_.store(count_);  // abandon the remaining indices
     }
@@ -63,9 +66,9 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   // One batch at a time: a second caller would otherwise overwrite the
   // in-flight batch state below.
-  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  MutexLock batch_lock(batch_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     next_.store(0);
@@ -74,15 +77,15 @@ void ThreadPool::parallel_for(std::size_t count,
   }
   work_cv_.notify_all();
   run_current_batch();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return active_ == 0; });
-  fn_ = nullptr;
-  if (first_error_) {
-    std::exception_ptr err = first_error_;
+  std::exception_ptr err;
+  {
+    MutexLock lock(mu_);
+    while (active_ != 0) done_cv_.wait(mu_);
+    fn_ = nullptr;
+    err = first_error_;
     first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 std::size_t ThreadPool::default_thread_count() {

@@ -14,12 +14,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace gnn4ip::util {
 
@@ -55,20 +56,28 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void run_current_batch();
+  // Reads fn_/count_ lock-free under the epoch publication protocol the
+  // static analysis cannot see (comment at the fields below).
+  void run_current_batch() GNN4IP_NO_THREAD_SAFETY_ANALYSIS;
 
-  std::mutex batch_mu_;  // serializes external parallel_for callers
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  // Batch state, guarded by mu_ except the atomic claim counter.
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
+  Mutex batch_mu_{lock_rank::kPoolBatch};  // serializes parallel_for callers
+  Mutex mu_{lock_rank::kPoolWork};
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // Batch state, guarded by mu_ except the atomic claim counter. fn_ and
+  // count_ are additionally *read* lock-free inside run_current_batch:
+  // the batch owner writes them under mu_ before bumping epoch_, a
+  // worker observes the epoch bump under mu_ in worker_loop's wait, and
+  // the fields stay frozen until every worker has decremented active_ —
+  // a publication handshake the capability analysis cannot express, so
+  // run_current_batch opts out (everything else is checked).
+  const std::function<void(std::size_t)>* fn_ GNN4IP_GUARDED_BY(mu_) = nullptr;
+  std::size_t count_ GNN4IP_GUARDED_BY(mu_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::size_t active_ = 0;
-  std::uint64_t epoch_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::size_t active_ GNN4IP_GUARDED_BY(mu_) = 0;
+  std::uint64_t epoch_ GNN4IP_GUARDED_BY(mu_) = 0;
+  bool stop_ GNN4IP_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ GNN4IP_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

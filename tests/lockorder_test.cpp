@@ -1,0 +1,124 @@
+// Runtime lock-order validator tests (src/util/lock_order.h).
+//
+// The death tests prove the validator actually fires: an acquisition
+// that contradicts the canonical rank table must abort deterministically
+// on the first inverted acquisition, with the violation named in the
+// message — not deadlock probabilistically under load. The non-death
+// tests prove the bookkeeping is exact (held counts through scoped
+// guards, release-from-middle) so a silent run means "order respected",
+// not "validator lost track".
+//
+// The whole file compiles to a single GTEST_SKIP when the build does
+// not define GNN4IP_LOCK_ORDER (the validator is a sanitize-build
+// feature; see CMakeLists.txt).
+#include <gtest/gtest.h>
+
+#include "util/lock_order.h"
+#include "util/thread_annotations.h"
+
+#ifdef GNN4IP_LOCK_ORDER
+
+namespace {
+
+using gnn4ip::util::LockOrderRegistry;
+using gnn4ip::util::Mutex;
+using gnn4ip::util::MutexLock;
+using gnn4ip::util::ReaderLock;
+using gnn4ip::util::SharedMutex;
+namespace lock_rank = gnn4ip::util::lock_rank;
+
+// A shard stripe acquired before the index lock — the documented
+// corpus order (epoch < index < stripes) inverted. Direct lock calls,
+// balanced so the static analysis is satisfied even though the unlocks
+// after the abort are unreachable.
+void acquire_stripe_then_index() {
+  SharedMutex index{lock_rank::kIndex};
+  SharedMutex stripe0{lock_rank::stripe(0)};
+  stripe0.lock_shared();
+  index.lock_shared();  // rank 101 under rank 110: aborts here
+  index.unlock_shared();
+  stripe0.unlock_shared();
+}
+
+TEST(LockOrderDeathTest, StripeBeforeIndexAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(acquire_stripe_then_index(), "LOCK ORDER VIOLATION");
+}
+
+// Equal ranks can never nest: "strictly greater" is what makes the
+// order a total one (two queue-ranked locks acquired together would
+// deadlock against a thread acquiring them the other way around).
+void acquire_equal_rank_twice() {
+  Mutex a{lock_rank::kQueue};
+  Mutex b{lock_rank::kQueue};
+  a.lock();
+  b.lock();  // same rank as a: aborts here
+  b.unlock();
+  a.unlock();
+}
+
+TEST(LockOrderDeathTest, EqualRankNestingAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(acquire_equal_rank_twice(), "LOCK ORDER VIOLATION");
+}
+
+// The canonical descent — epoch, index, stripes ascending, pool — is
+// silent, and every scoped guard is visible in the held count.
+TEST(LockOrderTest, CanonicalDescentIsSilentAndTracked) {
+  SharedMutex epoch{lock_rank::kEpoch};
+  SharedMutex index{lock_rank::kIndex};
+  SharedMutex stripe0{lock_rank::stripe(0)};
+  SharedMutex stripe1{lock_rank::stripe(1)};
+  Mutex pool{lock_rank::kPoolSpawn};
+
+  EXPECT_EQ(LockOrderRegistry::held_count(), 0u);
+  {
+    ReaderLock e(epoch);
+    ReaderLock i(index);
+    ReaderLock s0(stripe0);
+    ReaderLock s1(stripe1);
+    MutexLock p(pool);
+    EXPECT_EQ(LockOrderRegistry::held_count(), 5u);
+  }
+  EXPECT_EQ(LockOrderRegistry::held_count(), 0u);
+}
+
+// Releasing from the middle of the held stack is legal — score() drops
+// the index lock before taking stripes — and must not corrupt the
+// bookkeeping for the locks still held above and below it.
+TEST(LockOrderTest, ReleaseFromMiddleOfStack) {
+  SharedMutex epoch{lock_rank::kEpoch};
+  SharedMutex index{lock_rank::kIndex};
+  SharedMutex stripe0{lock_rank::stripe(0)};
+  epoch.lock_shared();
+  index.lock_shared();
+  stripe0.lock_shared();
+  EXPECT_EQ(LockOrderRegistry::held_count(), 3u);
+  index.unlock_shared();
+  EXPECT_EQ(LockOrderRegistry::held_count(), 2u);
+  stripe0.unlock_shared();
+  epoch.unlock_shared();
+  EXPECT_EQ(LockOrderRegistry::held_count(), 0u);
+}
+
+// Unranked locks (default-constructed, order < 0) are invisible to the
+// validator in any position.
+TEST(LockOrderTest, UnrankedLocksAreIgnored) {
+  Mutex ranked{lock_rank::kQueue};
+  Mutex unranked;
+  MutexLock r(ranked);
+  const std::size_t held = LockOrderRegistry::held_count();
+  MutexLock u(unranked);
+  EXPECT_EQ(LockOrderRegistry::held_count(), held);
+}
+
+}  // namespace
+
+#else  // !GNN4IP_LOCK_ORDER
+
+TEST(LockOrderTest, DisabledInThisBuild) {
+  GTEST_SKIP() << "built without GNN4IP_LOCK_ORDER; the validator and "
+                  "its death tests are compiled out";
+}
+
+#endif  // GNN4IP_LOCK_ORDER
