@@ -260,8 +260,12 @@ class AuditService {
   /// Current corpus index of a resident entry (kNoIndex when absent).
   [[nodiscard]] std::size_t index_of(const std::string& name) const;
 
-  [[nodiscard]] std::size_t resident() const { return corpus_->live_count(); }
+  [[nodiscard]] std::size_t resident() const {
+    util::ReaderLock state(state_mu_);
+    return corpus_->live_count();
+  }
   [[nodiscard]] const std::string& name(std::size_t i) const {
+    util::ReaderLock state(state_mu_);
     return corpus_->name(i);
   }
   [[nodiscard]] float delta() const { return options_.scorer.delta; }
