@@ -668,15 +668,20 @@ std::vector<PairScore> ShardedCorpus::score_all_pairs() const {
 void ShardedCorpus::fan_out(
     std::size_t count, const std::function<void(std::size_t)>& fn) const {
   if (options_.num_threads > 1) {
+    // Concurrent consumers may race the first fan_out; the spawn is
+    // one-time, so a plain mutex around the check is cheap enough. The
+    // raw pointer is captured *under* the lock: the unique_ptr is
+    // guarded, never reset once set, and outlives every fan-out, so the
+    // pointee is safe to use after release.
+    util::ThreadPool* pool = nullptr;
     {
-      // Concurrent consumers may race the first fan_out; the spawn is
-      // one-time, so a plain mutex around the check is cheap enough.
       util::MutexLock lock(pool_mu_);
       if (!pool_) {
         pool_ = std::make_unique<util::ThreadPool>(options_.num_threads);
       }
+      pool = pool_.get();
     }
-    pool_->parallel_for(count, fn);
+    pool->parallel_for(count, fn);
     return;
   }
   // 0 = shared pool, 1 = inline — util::parallel_for already does the
