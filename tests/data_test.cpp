@@ -391,8 +391,8 @@ TEST_P(RtlFamilyTest, VariantsAreStructurallyDistinct) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllFamilies, RtlFamilyTest, ::testing::ValuesIn(rtl_families()),
-    [](const ::testing::TestParamInfo<RtlFamily>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<RtlFamily>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(RtlDesigns, UnknownFamilyThrows) {

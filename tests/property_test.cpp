@@ -144,10 +144,10 @@ TEST_P(DfgInvariantTest, FeaturizationInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(
     Corpus, DfgInvariantTest, ::testing::ValuesIn(all_dfg_cases()),
-    [](const ::testing::TestParamInfo<DfgCase>& info) {
-      return info.param.family + "_s" +
-             std::to_string(info.param.variant.style) + "_r" +
-             std::to_string(info.param.variant.seed);
+    [](const ::testing::TestParamInfo<DfgCase>& param_info) {
+      return param_info.param.family + "_s" +
+             std::to_string(param_info.param.variant.style) + "_r" +
+             std::to_string(param_info.param.variant.seed);
     });
 
 // ---------------------------------------------------------------------------
@@ -247,8 +247,8 @@ TEST_P(ObfuscationPropertyTest, PortsUnchanged) {
 
 INSTANTIATE_TEST_SUITE_P(
     Configs, ObfuscationPropertyTest, ::testing::ValuesIn(obf_cases()),
-    [](const ::testing::TestParamInfo<ObfCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ObfCase>& param_info) {
+      return param_info.param.name;
     });
 
 // ---------------------------------------------------------------------------

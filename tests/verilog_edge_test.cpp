@@ -172,8 +172,8 @@ INSTANTIATE_TEST_SUITE_P(
                   "module m;\n  initial $display(\"oops);\nendmodule\n"},
         BadSource{"bad_based_literal",
                   "module m (output y);\n  assign y = 4'q1010;\nendmodule\n"}),
-    [](const ::testing::TestParamInfo<BadSource>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<BadSource>& param_info) {
+      return param_info.param.name;
     });
 
 // --- elaboration corner cases ------------------------------------------------------
