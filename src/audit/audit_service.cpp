@@ -518,8 +518,8 @@ void AuditService::save_corpus(const std::string& dir) {
     // lint:allow(unordered-iter): entries are sorted before writing.
     for (const auto& [nm, idx] : index_by_name_) entries.emplace_back(idx, nm);
     std::sort(entries.begin(), entries.end());
-    std::vector<std::string> pins(pinned_.begin(), pinned_.end());
-    std::sort(pins.begin(), pins.end());
+    std::vector<std::string> sorted_pins(pinned_.begin(), pinned_.end());
+    std::sort(sorted_pins.begin(), sorted_pins.end());
     const std::filesystem::path path =
         std::filesystem::path(dir) / core::kServiceFileName;
     std::ofstream os(path);
@@ -532,8 +532,8 @@ void AuditService::save_corpus(const std::string& dir) {
     for (const auto& [idx, nm] : entries) {
       os << "entry " << idx << ' ' << nm << '\n';
     }
-    os << "pins " << pins.size() << '\n';
-    for (const std::string& p : pins) os << "pin " << p << '\n';
+    os << "pins " << sorted_pins.size() << '\n';
+    for (const std::string& p : sorted_pins) os << "pin " << p << '\n';
     os << "end\n";
     os.flush();
     if (!os) {

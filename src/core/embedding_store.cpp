@@ -40,9 +40,12 @@ void EmbeddingStore::requantize_row(std::size_t i) {
     const long r = std::lround(x[k] / scale);
     const long clamped = std::clamp(r, -127L, 127L);
     q[k] = static_cast<std::int8_t>(clamped);
+    // lint:allow(fp-accum): sequential k-order fold over one row; no
+    // schedule can reorder it.
     q_sq += static_cast<double>(clamped) * static_cast<double>(clamped);
     const double e = static_cast<double>(x[k]) -
                      static_cast<double>(scale) * static_cast<double>(clamped);
+    // lint:allow(fp-accum): same sequential fold as q_sq above.
     e_sq += e * e;
   }
   qnorms_[i] = static_cast<float>(std::sqrt(q_sq) * (1.0 + 1e-6));

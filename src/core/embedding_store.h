@@ -7,10 +7,17 @@
 // batchable), compact() erases every tombstoned row in one pass and
 // reports the old→new index remapping.
 //
-// The store holds no scoring logic and no threading — it is the shard
-// unit. PairwiseScorer wraps exactly one store (the single-shard view
-// kept for tests and benches); ShardedCorpus owns K of them and merges
-// across; audit::AuditService sits on top of the latter.
+// The store holds no scoring logic and no locks — it is the shard
+// unit, guarded *externally* by whoever owns it: ShardedCorpus holds
+// one SharedMutex stripe per store (rank 110+shard in the global lock
+// order, src/util/lock_order.h) and every access to shards_[s] happens
+// under stripes_[s]. That per-element guard is outside what the static
+// capability analysis can express, which is why none of these fields
+// carry GNN4IP_GUARDED_BY — the runtime lock-order validator covers
+// the stripes instead. PairwiseScorer wraps exactly one store (the
+// single-shard view kept for tests and benches); ShardedCorpus owns K
+// of them and merges across; audit::AuditService sits on top of the
+// latter.
 //
 // The store is also the unit of persistence: save()/load() round-trip
 // the rows, names, and tombstones through the binary shard format of
