@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <filesystem>
 #include <future>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "audit/async_auditor.h"
@@ -21,6 +23,8 @@
 #include "core/sharded_corpus.h"
 #include "data/corpus.h"
 #include "data/rtl_designs.h"
+#include "dist/dist_corpus.h"
+#include "dist/shard_server.h"
 #include "train/trainer.h"
 #include "verilog/parser.h"
 
@@ -488,7 +492,11 @@ const std::vector<std::vector<float>>& anchor_embeddings() {
   return anchors;
 }
 
-void fill_variant_corpus(core::ShardedCorpus& corpus, std::size_t rows,
+// Works for any CorpusBackend front end (ShardedCorpus, DistCorpus):
+// the RNG stream depends only on (rows, seed), so every backend sees
+// byte-identical embeddings.
+template <typename Corpus>
+void fill_variant_corpus(Corpus& corpus, std::size_t rows,
                          std::uint64_t seed) {
   const std::vector<std::vector<float>>& anchors = anchor_embeddings();
   const std::size_t d = anchors.front().size();
@@ -568,6 +576,56 @@ void BM_ShardedScreen10k(benchmark::State& state) {
 BENCHMARK(BM_ShardedScreen10k)
     ->Arg(0)
     ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Distributed screening over real loopback TCP. ---
+//
+// BM_RemoteScreen is the wire-path counterpart of BM_ShardedScreen10k:
+// the same 8-probe screen_new_rows sweep over a 10k-row variant corpus,
+// but the resident rows live in state.range(0) in-process ShardServer
+// instances behind real TCP sockets with a DistCorpus front end —
+// G4IPWIRE framing, buffered admissions, vectored probe-slab writes,
+// pipelined fan-out/fan-in and the fixed-tie-break merge included.
+// dist_test pins the outputs bit-identical to the in-process corpus;
+// the axis shows what the wire costs (1 server) and what shard-process
+// parallelism buys back (2 servers) on multi-core hosts.
+void BM_RemoteScreen(benchmark::State& state) {
+  constexpr std::size_t kResident = 10'000;
+  constexpr std::size_t kBatch = 8;
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  dist::ShardServerOptions server_options;
+  server_options.poll_ms = 5;
+  std::vector<std::unique_ptr<dist::ShardServer>> servers;
+  std::vector<std::thread> serving;
+  std::vector<dist::Endpoint> endpoints;
+  for (std::size_t s = 0; s < shards; ++s) {
+    servers.push_back(std::make_unique<dist::ShardServer>(0, server_options));
+    endpoints.push_back({"127.0.0.1", servers.back()->port()});
+    serving.emplace_back([&server = *servers.back()] { server.serve(); });
+  }
+  {
+    core::ScorerOptions options;
+    options.num_threads = shards;  // one fan-out worker per server
+    auto corpus = dist::DistCorpus::connect(endpoints, /*fingerprint=*/"",
+                                            options);
+    fill_variant_corpus(*corpus, kResident + kBatch, /*seed=*/5);
+    for (auto _ : state) {
+      const std::vector<core::ScreenRow> rows =
+          corpus->screen_new_rows(kResident, 0.5F);
+      benchmark::DoNotOptimize(rows.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(kResident * kBatch) *
+                            state.iterations());
+    state.counters["resident"] = static_cast<double>(kResident);
+    state.counters["batch"] = static_cast<double>(kBatch);
+    state.counters["servers"] = static_cast<double>(shards);
+  }  // hang up before stopping the servers
+  for (auto& server : servers) server->stop();
+  for (std::thread& t : serving) t.join();
+}
+BENCHMARK(BM_RemoteScreen)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_BaselineWl(benchmark::State& state) {

@@ -7,7 +7,8 @@
 //                                                 Alg. 1 piracy check
 //   gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus <lib2.v> ...]
 //              [--delta <d>] [--top-k <k>] [--max-resident <n>]
-//              [--shards <k>] [--threads <n>] [--async] [--consumers <n>]
+//              [--shards <k> | --connect <host:port,...>]
+//              [--threads <n>] [--async] [--consumers <n>]
 //              [--kernel <scalar|avx2|neon|auto>] [--prefilter]
 //              [--load-corpus <dir>] [--save-corpus <dir>]
 //              <design.v> [<design2.v> ...]
@@ -41,6 +42,13 @@
 // snapshot is tied to the model that produced it: loading against a
 // different model fails with a fingerprint error rather than silently
 // scoring mismatched embeddings.
+//
+// --connect screens against gnn4ip_shardd shard-server processes
+// instead of an in-process corpus — one endpoint per shard, same
+// placement map, bit-identical verdicts (docs/ARCHITECTURE.md,
+// "Distributed screening"). Mutually exclusive with --shards and
+// --async. Connection and protocol failures exit 5 so scripts can tell
+// "cluster trouble" from "bad design" (3) and "bad snapshot" (4).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,8 +63,10 @@
 #include "audit/audit_service.h"
 #include "core/gnn4ip.h"
 #include "core/snapshot_format.h"
+#include "dist/dist_corpus.h"
 #include "gnn/model_io.h"
 #include "graph/serialize.h"
+#include "net/wire_format.h"
 
 namespace {
 
@@ -83,7 +93,8 @@ int usage() {
       "  gnn4ip_cli compare <model.txt> <a.v> <b.v> [delta]\n"
       "  gnn4ip_cli audit <model.txt> --corpus <lib.v> [--corpus ...]\n"
       "             [--delta <d>] [--top-k <k>] [--max-resident <n>]\n"
-      "             [--shards <k>] [--threads <n>] [--async]\n"
+      "             [--shards <k> | --connect <host:port,...>]\n"
+      "             [--threads <n>] [--async]\n"
       "             [--consumers <n>] [--kernel <scalar|avx2|neon|auto>]\n"
       "             [--prefilter]\n"
       "             [--load-corpus <dir>] [--save-corpus <dir>]\n"
@@ -186,6 +197,8 @@ int cmd_audit(const std::vector<std::string>& args) {
   audit::AsyncOptions async_options;
   std::size_t top_k = 0;
   bool use_async = false;
+  bool saw_shards = false;
+  std::string connect_spec;
   std::string load_dir;
   std::string save_dir;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -215,6 +228,9 @@ int cmd_audit(const std::vector<std::string>& args) {
         return 2;
       }
       options.num_shards = static_cast<std::size_t>(shards);
+      saw_shards = true;
+    } else if (arg == "--connect") {
+      connect_spec = next_value();
     } else if (arg == "--threads") {
       // Explicit worker count: takes precedence over GNN4IP_THREADS
       // (the env knob only resolves when num_threads stays 0).
@@ -273,6 +289,16 @@ int cmd_audit(const std::vector<std::string>& args) {
   // A snapshot stands in for the --corpus library list entirely.
   if (corpus_files.empty() && load_dir.empty()) return usage();
   if (incoming_files.empty()) return usage();
+  if (!connect_spec.empty() && saw_shards) {
+    std::fprintf(stderr, "error: --connect and --shards are mutually "
+                         "exclusive (the server count IS the shard count)\n");
+    return 2;
+  }
+  if (!connect_spec.empty() && use_async) {
+    std::fprintf(stderr,
+                 "error: --connect does not combine with --async yet\n");
+    return 2;
+  }
 
   // The async front end owns the service; the sync path stands one up
   // directly. Verdicts are bit-identical either way — --async and
@@ -282,6 +308,21 @@ int cmd_audit(const std::vector<std::string>& args) {
   if (use_async) {
     auditor = audit::AsyncAuditor::from_model_file(model_path, options,
                                                    async_options);
+  } else if (!connect_spec.empty()) {
+    // Distributed corpus: one gnn4ip_shardd process per endpoint. The
+    // handshake pins this model's fingerprint cluster-wide, and the
+    // backend's shard count (the server count) overrides --shards.
+    gnn::Hw2Vec model = gnn::load_model_file(model_path);
+    const std::string fingerprint = gnn::model_fingerprint(model);
+    // With --load-corpus the servers may already hold the snapshot's
+    // rows (gnn4ip_shardd --load-shard); connect tolerates that and the
+    // restore reconciles them (adopt when the tallies match, reset and
+    // re-push otherwise).
+    auto corpus = dist::DistCorpus::connect(
+        dist::parse_endpoints(connect_spec), fingerprint, options.scorer,
+        options.shard_budget, /*allow_resident=*/!load_dir.empty());
+    owned_service = std::make_unique<audit::AuditService>(
+        std::move(model), options, std::move(corpus));
   } else {
     owned_service = std::make_unique<audit::AuditService>(
         gnn::load_model_file(model_path), options);
@@ -425,6 +466,12 @@ int main(int argc, char** argv) {
     // from "bad design".
     std::fprintf(stderr, "snapshot error: %s\n", e.what());
     return 4;
+  } catch (const net::WireError& e) {
+    // Cluster trouble (refused connection, protocol violation, a shard
+    // dying mid-screen) is typed end to end; scripts get a distinct
+    // exit code instead of a hang or a generic failure.
+    std::fprintf(stderr, "connection error: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 3;

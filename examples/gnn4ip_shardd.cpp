@@ -1,0 +1,117 @@
+// gnn4ip_shardd — one corpus shard server process.
+//
+//   gnn4ip_shardd --listen <port> [--load-shard <file>]
+//                 [--fingerprint <fp>] [--kernel <scalar|avx2|neon|auto>]
+//
+// Binds 127.0.0.1:<port> (0 = ephemeral), prints the chosen address on
+// stdout as "gnn4ip_shardd listening on 127.0.0.1:<port>" (flushed, so
+// launch scripts can grep it), then serves G4IPWIRE requests until
+// SIGINT/SIGTERM. --load-shard warm-starts the store from one binary
+// shard file of a corpus snapshot (docs/FORMATS.md); --fingerprint pins
+// the model fingerprint this shard will accept at Hello time (default:
+// adopt the first client's).
+//
+// Exit codes match gnn4ip_cli: 2 usage, 3 error, 4 snapshot error,
+// 5 connection/wire error.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/simd_dispatch.h"
+#include "core/snapshot_format.h"
+#include "dist/shard_server.h"
+#include "net/wire_format.h"
+
+namespace {
+
+using namespace gnn4ip;
+
+// Written by the signal handler, polled by main — the handler itself
+// must stay async-signal-safe, so it only flips this flag.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gnn4ip_shardd --listen <port> [--load-shard <file>]\n"
+               "                     [--fingerprint <fp>]\n"
+               "                     [--kernel <scalar|avx2|neon|auto>]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = -1;
+  std::string shard_file;
+  dist::ShardServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      port = std::strtol(next_value(), nullptr, 10);
+    } else if (arg == "--load-shard") {
+      shard_file = next_value();
+    } else if (arg == "--fingerprint") {
+      options.fingerprint = next_value();
+    } else if (arg == "--kernel") {
+      try {
+        options.kernel = core::parse_backend(next_value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+      }
+      if (!core::backend_supported(options.kernel)) {
+        std::fprintf(stderr, "error: --kernel %s is not supported on this "
+                             "host\n",
+                     core::backend_name(options.kernel));
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return usage();
+    }
+  }
+  if (port < 0 || port > 65535) return usage();
+
+  try {
+    dist::ShardServer server(static_cast<std::uint16_t>(port), options);
+    if (!shard_file.empty()) {
+      server.load_shard(shard_file);
+      std::fprintf(stderr, "loaded shard file %s\n", shard_file.c_str());
+    }
+    std::printf("gnn4ip_shardd listening on 127.0.0.1:%u\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    std::thread serving([&server] { server.serve(); });
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    serving.join();
+    std::fprintf(stderr, "gnn4ip_shardd: stopped\n");
+    return 0;
+  } catch (const core::SnapshotError& e) {
+    std::fprintf(stderr, "snapshot error: %s\n", e.what());
+    return 4;
+  } catch (const net::WireError& e) {
+    std::fprintf(stderr, "connection error: %s\n", e.what());
+    return 5;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 3;
+  }
+}

@@ -36,6 +36,18 @@ break them:
                   std::async's policy is implementation-defined; all
                   parallelism goes through util::ThreadPool.
 
+  raw-socket      socket(2)-family syscalls or networking headers
+                  (<sys/socket.h>, <netinet/*>, <arpa/*>, <poll.h>, ...)
+                  anywhere in src/ outside src/net/. The wire protocol's
+                  framing, typed-error taxonomy, and EOF/timeout
+                  semantics live behind net::Socket — a stray sendmsg or
+                  poll elsewhere bypasses the one seam the robustness
+                  tests audit. Detected as unambiguous syscall names
+                  (socket, setsockopt, recvmsg, ...), `::`-qualified
+                  forms of the short ones (::connect, ::send, ::poll,
+                  ...), and the header includes no caller can do
+                  without.
+
 Findings are suppressed by a waiver on the offending line or the line
 directly above it, with a mandatory reason:
 
@@ -61,6 +73,24 @@ RAW_LOCK_RE = re.compile(
     r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
 )
 DETACH_RE = re.compile(r"\.\s*detach\s*\(|std::async\b")
+# The socket(2) family, split by ambiguity. Long names cannot collide
+# with project identifiers, so the bare call form is enough; the short
+# ones (connect/send/poll/...) shadow ordinary method and factory names
+# everywhere, so only the globally-qualified `::name(` form counts —
+# bare calls are still caught through the header includes below, which
+# no syscall user can do without.
+RAW_SOCKET_UNAMBIGUOUS = (
+    "socket|socketpair|accept4|setsockopt|getsockopt|getsockname"
+    "|getpeername|recvmsg|sendmsg|recvfrom|sendto|writev|readv"
+    "|getaddrinfo|freeaddrinfo|inet_pton|inet_ntop"
+)
+RAW_SOCKET_QUALIFIED_ONLY = "connect|bind|listen|accept|send|recv|poll|shutdown"
+RAW_SOCKET_RE = re.compile(
+    rf"(?:^|[^\w:.>])(?:{RAW_SOCKET_UNAMBIGUOUS})\s*\("
+    rf"|(?<![\w>)])::\s*(?:{RAW_SOCKET_UNAMBIGUOUS}|{RAW_SOCKET_QUALIFIED_ONLY})\s*\("
+    r"|#\s*include\s*<(?:sys/socket\.h|sys/un\.h|sys/uio\.h|netinet/[\w/.]+"
+    r"|arpa/[\w/.]+|netdb\.h|poll\.h)>"
+)
 ACCUM_CALL_RE = re.compile(r"std::(?:accumulate|reduce)\b")
 FP_DECL_RE = re.compile(r"\b(?:float|double)\s+(\w+)\s*(?:=|\{|;)")
 UNORDERED_DECL_RE = re.compile(
@@ -122,7 +152,12 @@ def waivers_for(raw_lines: list[str]) -> dict[int, str]:
 
 
 class Linter:
-    def __init__(self) -> None:
+    """Scans `<root>/src`; parameterized so the self-test can point it
+    at synthetic trees (scripts/lint_selftest.py)."""
+
+    def __init__(self, root: Path = ROOT) -> None:
+        self.root = root
+        self.src = root / "src"
         self.findings: list[tuple[Path, int, str, str]] = []
         self.waived_count = 0
 
@@ -144,7 +179,8 @@ class Linter:
         raw_lines = raw.splitlines()
         code_lines = strip_comments(raw).splitlines()
         waived = waivers_for(raw_lines)
-        rel = path.relative_to(ROOT)
+        rel = path.relative_to(self.root)
+        in_net = rel.parts[:2] == ("src", "net")
         in_determinism_scope = (
             path.parent.name in DETERMINISM_DIRS
             and not path.name.startswith(KERNEL_EXEMPT)
@@ -188,6 +224,14 @@ class Linter:
                     "through util::ThreadPool",
                     waived,
                 )
+            if not in_net and RAW_SOCKET_RE.search(line):
+                self.report(
+                    path, idx, "raw-socket",
+                    "socket(2)-family syscall or networking header outside "
+                    "src/net/; all wire traffic goes through net::Socket so "
+                    "framing and typed-error semantics stay in one seam",
+                    waived,
+                )
             if in_determinism_scope:
                 if ACCUM_CALL_RE.search(line) or (
                     fp_accum_re and fp_accum_re.search(line)
@@ -209,13 +253,13 @@ class Linter:
 
     def run(self) -> int:
         files = sorted(
-            p for p in SRC.rglob("*") if p.suffix in (".h", ".cpp") and p.is_file()
+            p for p in self.src.rglob("*") if p.suffix in (".h", ".cpp") and p.is_file()
         )
         for path in files:
             self.lint_file(path)
         if self.findings:
             for path, lineno, rule, message in self.findings:
-                print(f"{path.relative_to(ROOT)}:{lineno}: [{rule}] {message}")
+                print(f"{path.relative_to(self.root)}:{lineno}: [{rule}] {message}")
             print(f"lint_invariants: {len(self.findings)} finding(s)")
             return 1
         print(

@@ -147,15 +147,29 @@ ServiceState read_service_state(const std::filesystem::path& path) {
 
 AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
                            std::unique_ptr<EvictionPolicy> policy)
+    : AuditService(std::move(model), options,
+                   std::make_unique<core::ShardedCorpus>(
+                       options.num_shards, options.scorer,
+                       options.shard_budget),
+                   std::move(policy)) {}
+
+AuditService::AuditService(gnn::Hw2Vec model, const AuditOptions& options,
+                           std::unique_ptr<core::CorpusBackend> corpus,
+                           std::unique_ptr<EvictionPolicy> policy)
     : options_(options),
       model_(std::move(model)),
       model_fingerprint_(gnn::model_fingerprint(model_)),
       pipeline_(options.pipeline, options.featurize),
-      corpus_(std::make_unique<core::ShardedCorpus>(
-          options.num_shards, options.scorer, options.shard_budget)),
+      corpus_(std::move(corpus)),
       policy_(policy ? std::move(policy)
                      : std::make_unique<LruEvictionPolicy>()),
-      queue_(options.queue_capacity) {}
+      queue_(options.queue_capacity) {
+  GNN4IP_ENSURE(corpus_ != nullptr,
+                "AuditService: corpus backend must be non-null");
+  // The backend is the truth for the shard layout; keep the options in
+  // sync so callers introspect it consistently.
+  options_.num_shards = corpus_->num_shards();
+}
 
 AuditService AuditService::from_model_file(
     const std::string& path, const AuditOptions& options,
@@ -555,9 +569,8 @@ void AuditService::load_corpus(const std::string& dir) {
     // service's own state is only touched in the no-throw swap below.
     ServiceState persisted = read_service_state(
         std::filesystem::path(dir) / core::kServiceFileName);
-    auto fresh = std::make_unique<core::ShardedCorpus>(
-        /*num_shards=*/1, options_.scorer, options_.shard_budget);
-    fresh->restore(dir, model_fingerprint_);
+    std::unique_ptr<core::CorpusBackend> fresh =
+        corpus_->restored(dir, model_fingerprint_);
     // Cross-validate the service file against the restored corpus: the
     // name index must be a bijection onto the live rows.
     if (persisted.entries.size() != fresh->live_count()) {

@@ -149,6 +149,15 @@ class AuditService {
   explicit AuditService(gnn::Hw2Vec model, const AuditOptions& options = {},
                         std::unique_ptr<EvictionPolicy> policy = nullptr);
 
+  /// Backend seam: run the same commit turnstile, eviction, and snapshot
+  /// layers over a caller-built corpus backend — an in-process
+  /// core::ShardedCorpus or a dist::DistCorpus of remote shard servers.
+  /// `options.num_shards` is overridden by the backend's own shard count
+  /// (the backend is the truth); `corpus` must be non-null and empty.
+  AuditService(gnn::Hw2Vec model, const AuditOptions& options,
+               std::unique_ptr<core::CorpusBackend> corpus,
+               std::unique_ptr<EvictionPolicy> policy = nullptr);
+
   /// Deployment path: load weights persisted by gnn::save_model_file.
   [[nodiscard]] static AuditService from_model_file(
       const std::string& path, const AuditOptions& options = {},
@@ -274,10 +283,10 @@ class AuditService {
   void set_delta(float delta) { options_.scorer.delta = delta; }
   [[nodiscard]] const AuditOptions& options() const { return options_; }
   [[nodiscard]] gnn::Hw2Vec& model() { return model_; }
-  /// The resident sharded cache (tests and benches compare against the
+  /// The resident corpus backend (tests and benches compare against the
   /// raw core scoring paths through this). The reference is replaced —
   /// not mutated — by load_corpus(); re-fetch it after a warm restart.
-  [[nodiscard]] const core::ShardedCorpus& corpus() const { return *corpus_; }
+  [[nodiscard]] const core::CorpusBackend& corpus() const { return *corpus_; }
 
  private:
   /// Block until `ticket` is the next to commit (turnstile entry).
@@ -321,7 +330,7 @@ class AuditService {
   /// the pointer lock-free (not GUARDED_BY — annotating it would force
   /// the fully-parallel embed phase to hold state_mu_ shared and
   /// serialize against commit slots).
-  std::unique_ptr<core::ShardedCorpus> corpus_;
+  std::unique_ptr<core::CorpusBackend> corpus_;
   std::unique_ptr<EvictionPolicy> policy_ GNN4IP_PT_GUARDED_BY(state_mu_);
   /// Replay seam (audit/admission_log.h); may be null.
   /// Configuration-time (set before consumers stream), so unguarded.

@@ -953,6 +953,16 @@ void ShardedCorpus::restore(const std::string& dir,
   stripes_.resize(shards_.size());
 }
 
+std::unique_ptr<CorpusBackend> ShardedCorpus::restored(
+    const std::string& dir, std::string_view expected_fingerprint) const {
+  // restore() adopts the snapshot's shard count and dim, so a fresh
+  // single-shard corpus is the universal starting point; options and
+  // the per-shard budget carry over from the receiver.
+  auto fresh = std::make_unique<ShardedCorpus>(1, options_, shard_budget_);
+  fresh->restore(dir, expected_fingerprint);
+  return fresh;
+}
+
 std::string ShardedCorpus::snapshot_fingerprint(const std::string& dir) {
   return parse_manifest(std::filesystem::path(dir) / kManifestFileName)
       .fingerprint;

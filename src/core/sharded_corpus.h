@@ -53,6 +53,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/corpus_backend.h"
 #include "core/cosine_kernels.h"
 #include "core/embedding_store.h"
 #include "tensor/matrix.h"
@@ -61,36 +62,11 @@
 
 namespace gnn4ip::core {
 
-/// One screened candidate: a live corpus row and its *exact* similarity
-/// (always computed by the scalar reference kernel, whatever produced
-/// the candidacy).
-struct ScreenMatch {
-  std::size_t index = 0;
-  float similarity = 0.0F;
-};
-
-/// What screening one incoming row actually needs — the flagged matches
-/// and the best match, with exact similarities — instead of the full
-/// 1×N matrix. Identical with the int8 prefilter on or off; the
-/// scanned/rescored tallies expose how much exact work the prefilter
-/// saved.
-struct ScreenRow {
-  /// Live candidates with similarity > delta, ascending corpus index.
-  std::vector<ScreenMatch> flagged;
-  /// The most similar live candidate (ties: lowest index); unset when
-  /// there are no candidates.
-  std::optional<ScreenMatch> best;
-  /// Live candidates considered.
-  std::size_t scanned = 0;
-  /// Candidates whose exact similarity was computed (== scanned on the
-  /// exact path; typically far fewer with the prefilter).
-  std::size_t rescored = 0;
-};
-
-class ShardedCorpus {
+class ShardedCorpus final : public CorpusBackend {
  public:
   /// "No such row": returned by compact() for removed rows.
   static constexpr std::size_t kNoIndex = EmbeddingStore::kNoIndex;
+  static_assert(kNoIndex == CorpusBackend::kNoIndex);
 
   /// `num_shards` stores (≥ 1). `shard_budget` is the per-shard live-row
   /// budget eviction layers enforce (0 = unbounded); the corpus itself
@@ -110,12 +86,12 @@ class ShardedCorpus {
   /// reads: global ids are assigned in index-lock acquisition order (the
   /// admission ticket), and only the placed shard's stripe is taken
   /// exclusively.
-  std::size_t add(std::string name, const tensor::Matrix& embedding);
+  std::size_t add(std::string name, const tensor::Matrix& embedding) override;
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const override;
   [[nodiscard]] bool empty() const { return size() == 0; }
-  [[nodiscard]] std::size_t dim() const;
-  [[nodiscard]] const std::string& name(std::size_t i) const;
+  [[nodiscard]] std::size_t dim() const override;
+  [[nodiscard]] const std::string& name(std::size_t i) const override;
   [[nodiscard]] const ScorerOptions& options() const { return options_; }
 
   /// Zero-copy view of the row behind global index `i` (length dim()).
@@ -125,9 +101,9 @@ class ShardedCorpus {
 
   /// Tombstone global row `i` (skipped by top_k/flag, erased by the next
   /// compact; still positionally included by score/score_new_rows).
-  void remove(std::size_t i);
-  [[nodiscard]] bool live(std::size_t i) const;
-  [[nodiscard]] std::size_t live_count() const;
+  void remove(std::size_t i) override;
+  [[nodiscard]] bool live(std::size_t i) const override;
+  [[nodiscard]] std::size_t live_count() const override;
 
   /// Compact every shard and renumber the global index space densely in
   /// insertion order. Returns result[old_global] = new_global or
@@ -135,18 +111,18 @@ class ShardedCorpus {
   /// same mapping values for any shard count. Takes the global epoch:
   /// every in-flight reader and admitter completes first, so no caller
   /// ever observes a half-remapped index space.
-  std::vector<std::size_t> compact();
+  std::vector<std::size_t> compact() override;
 
   // ---- Shard introspection ----------------------------------------------
-  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
-  [[nodiscard]] std::size_t shard_of(std::size_t i) const;
-  [[nodiscard]] std::size_t shard_live_count(std::size_t s) const;
-  [[nodiscard]] std::size_t shard_budget() const { return shard_budget_; }
+  [[nodiscard]] std::size_t num_shards() const override { return shards_.size(); }
+  [[nodiscard]] std::size_t shard_of(std::size_t i) const override;
+  [[nodiscard]] std::size_t shard_live_count(std::size_t s) const override;
+  [[nodiscard]] std::size_t shard_budget() const override { return shard_budget_; }
   [[nodiscard]] const EmbeddingStore& shard(std::size_t s) const;
 
   // ---- Scoring (bit-identical to the single-shard PairwiseScorer) -------
   /// Single pair of global rows (tombstoned rows still addressable).
-  [[nodiscard]] float score(std::size_t i, std::size_t j) const;
+  [[nodiscard]] float score(std::size_t i, std::size_t j) const override;
 
   /// Cosine of every row with global index ≥ `first_new` against the
   /// whole corpus, as an (N − first_new) × N matrix — the incremental
@@ -166,8 +142,8 @@ class ShardedCorpus {
   /// (options().int8_prefilter): prefilter bounds are rigorous, so a
   /// candidate is pruned only when it provably cannot flag or be best,
   /// and every reported similarity is an exact rescore.
-  [[nodiscard]] std::vector<ScreenRow> screen_new_rows(std::size_t first_new,
-                                                       float delta) const;
+  [[nodiscard]] std::vector<ScreenRow> screen_new_rows(
+      std::size_t first_new, float delta) const override;
 
   /// The k live entries most similar to global row `i` (i itself and
   /// removed rows excluded), descending similarity with ascending-index
@@ -177,7 +153,7 @@ class ShardedCorpus {
   /// count, and merge arrival order. Candidates admitted concurrently
   /// (global id past the entry snapshot) are excluded.
   [[nodiscard]] std::vector<PairScore> top_k(std::size_t i,
-                                             std::size_t k) const;
+                                             std::size_t k) const override;
 
   /// All unordered pairs of live rows (ascending (a, b) global order).
   [[nodiscard]] std::vector<PairScore> score_all_pairs() const;
@@ -186,7 +162,7 @@ class ShardedCorpus {
   /// similarity, ascending (a, b) tie-break) — bit-identical to
   /// PairwiseScorer::flag. The overload without an argument uses
   /// options().delta.
-  [[nodiscard]] std::vector<PairScore> flag(float delta) const;
+  [[nodiscard]] std::vector<PairScore> flag(float delta) const override;
   [[nodiscard]] std::vector<PairScore> flag() const {
     return flag(options_.delta);
   }
@@ -200,7 +176,7 @@ class ShardedCorpus {
   /// snapshot is always a fully-admitted, fully-compacted-or-not state,
   /// never a half-applied one. Throws SnapshotIoError when files cannot
   /// be written.
-  void save(const std::string& dir, std::string_view model_fingerprint) const;
+  void save(const std::string& dir, std::string_view model_fingerprint) const override;
 
   /// Replace this corpus's contents with a snapshot written by save().
   /// Adopts the snapshot's shard count and dim; keeps the configured
@@ -227,7 +203,15 @@ class ShardedCorpus {
   /// ones. Safe from concurrent consumers (lazy spawn is guarded;
   /// concurrent batches serialize inside ThreadPool::parallel_for).
   void fan_out(std::size_t count,
-               const std::function<void(std::size_t)>& fn) const;
+               const std::function<void(std::size_t)>& fn) const override;
+
+  /// A fresh single-shard ShardedCorpus restored from `dir` (it adopts
+  /// the snapshot's shard count and dim during restore(); options and
+  /// shard budget carry over from this corpus). The CorpusBackend load
+  /// seam — every typed SnapshotError propagates with nothing swapped.
+  [[nodiscard]] std::unique_ptr<CorpusBackend> restored(
+      const std::string& dir,
+      std::string_view expected_fingerprint) const override;
 
  private:
   /// Where a global index lives: which shard, and which local row.

@@ -1,0 +1,247 @@
+#include "net/socket.h"
+
+// The one translation unit in src/ that speaks to the socket API
+// directly; everything else goes through Socket/TcpListener (enforced
+// by the raw-socket lint rule).
+#include <arpa/inet.h>   // lint:allow(raw-socket): the audited seam
+#include <netinet/in.h>  // lint:allow(raw-socket): the audited seam
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>  // lint:allow(raw-socket): the audited seam
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "net/wire_format.h"
+
+namespace gnn4ip::net {
+
+namespace {
+
+std::string errno_text(const char* op) {
+  return std::string(op) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect_to(const std::string& host, std::uint16_t port) {
+  // lint:allow(raw-socket): the audited seam — all syscalls below too.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    throw WireConnectionError("cannot resolve '" + host +
+                              "' (v1 accepts IPv4 dotted quads and "
+                              "'localhost' only)");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw WireConnectionError(errno_text("socket"));
+  Socket sock(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw WireConnectionError("cannot connect to " + host + ":" +
+                              std::to_string(port) + " (" +
+                              std::strerror(errno) + ")");
+  }
+  // The wire layer aggregates small frames itself; Nagle on top of
+  // that only delays the flush.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw WireIoError(errno_text("socketpair"));
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+void Socket::set_recv_timeout(unsigned timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<long>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<long>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw WireIoError(errno_text("setsockopt(SO_RCVTIMEO)"));
+  }
+}
+
+bool Socket::wait_readable(unsigned timeout_ms) const {
+  pollfd pfd{fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, static_cast<int>(timeout_ms)) > 0;
+}
+
+void Socket::read_exact(void* data, std::size_t size) {
+  if (!read_exact_or_eof(data, size)) {
+    throw WireTruncatedError(
+        "peer closed the connection where a frame was expected");
+  }
+}
+
+bool Socket::read_exact_or_eof(void* data, std::size_t size) {
+  auto* out = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, out + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a frame boundary
+      throw WireTruncatedError("peer closed mid-read after " +
+                               std::to_string(got) + " of " +
+                               std::to_string(size) + " bytes");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw WireTimeoutError("read timed out after " + std::to_string(got) +
+                             " of " + std::to_string(size) + " bytes");
+    }
+    if (errno == ECONNRESET) {
+      throw WireConnectionError(errno_text("recv"));
+    }
+    throw WireIoError(errno_text("recv"));
+  }
+  return true;
+}
+
+void Socket::write_all(const void* data, std::size_t size) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer surfaces as EPIPE, not a SIGPIPE crash.
+    const ssize_t n = ::send(fd_, in + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      throw WireConnectionError(errno_text("send"));
+    }
+    throw WireIoError(errno_text("send"));
+  }
+}
+
+void Socket::write_vectored(const std::vector<ConstBuffer>& buffers) {
+  std::vector<iovec> iov;
+  iov.reserve(buffers.size());
+  std::size_t total = 0;
+  for (const ConstBuffer& b : buffers) {
+    if (b.size == 0) continue;
+    iov.push_back({const_cast<void*>(b.data), b.size});
+    total += b.size;
+  }
+  // writev caps the slice count per call (IOV_MAX, typically 1024);
+  // stay safely under it and loop.
+  constexpr std::size_t kMaxSlices = 512;
+  std::size_t sent = 0;
+  std::size_t first = 0;  // first iovec not yet fully written
+  while (sent < total) {
+    const std::size_t batch = std::min(iov.size() - first, kMaxSlices);
+    const ssize_t n = ::writev(fd_, iov.data() + first,
+                               static_cast<int>(batch));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        throw WireConnectionError(errno_text("writev"));
+      }
+      throw WireIoError(errno_text("writev"));
+    }
+    sent += static_cast<std::size_t>(n);
+    // Advance past fully-written slices; trim a partially-written one.
+    std::size_t done = static_cast<std::size_t>(n);
+    while (first < iov.size() && done >= iov[first].iov_len) {
+      done -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov.size() && done > 0) {
+      iov[first].iov_base = static_cast<std::uint8_t*>(iov[first].iov_base) +
+                            done;
+      iov[first].iov_len -= done;
+    }
+  }
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw WireConnectionError(errno_text("socket"));
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string why = errno_text("bind");
+    (void)::close(fd_);
+    fd_ = -1;
+    throw WireConnectionError(why);
+  }
+  if (::listen(fd_, SOMAXCONN) != 0) {
+    const std::string why = errno_text("listen");
+    (void)::close(fd_);
+    fd_ = -1;
+    throw WireConnectionError(why);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string why = errno_text("getsockname");
+    (void)::close(fd_);
+    fd_ = -1;
+    throw WireIoError(why);
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+std::optional<Socket> TcpListener::accept(unsigned timeout_ms) {
+  if (fd_ < 0) return std::nullopt;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (ready <= 0) return std::nullopt;  // timeout, or closed under us
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return std::nullopt;  // racing close(); not an error
+  const int one = 1;
+  (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(client);
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    (void)::shutdown(fd_, SHUT_RDWR);
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace gnn4ip::net

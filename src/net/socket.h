@@ -1,0 +1,125 @@
+// Thin RAII TCP layer — the ONLY file pair in src/ allowed to touch
+// socket(2)-family syscalls (scripts/lint_invariants.py's raw-socket
+// rule fails CI on any direct call outside src/net/), so every byte
+// that crosses a process boundary goes through one audited seam.
+//
+// Scope is deliberately narrow: IPv4 loopback/LAN client connections,
+// a loopback listener for shard servers, socketpair for tests, exact
+// reads, vectored writes. No TLS, no IPv6, no non-blocking state
+// machines — the distributed corpus runs on a trusted cluster network
+// (docs/ARCHITECTURE.md, failure semantics), and everything above this
+// layer speaks length-prefixed frames (net/wire_format.h), so the
+// syscall surface stays small enough to review in one sitting.
+//
+// Error mapping (the wire taxonomy, not errno soup):
+//   * connect/bind/listen/accept failures → WireConnectionError
+//   * peer closed before any byte of a read → read_exact_or_eof()
+//     returns false (the caller decides if EOF is legal there)
+//   * peer closed mid-read → WireTruncatedError
+//   * SO_RCVTIMEO expiry → WireTimeoutError (tests use this so a
+//     protocol bug can never hang a suite)
+//   * every other syscall failure → WireIoError with errno text
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gnn4ip::net {
+
+/// One scatter/gather slice for Socket::write_vectored — mirrors
+/// struct iovec without pulling <sys/uio.h> into every includer.
+struct ConstBuffer {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Move-only RAII wrapper of one connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connect to `host:port` (IPv4 dotted quad or "localhost") with
+  /// TCP_NODELAY set — the wire layer does its own aggregation, so
+  /// Nagle would only add latency. Throws WireConnectionError.
+  [[nodiscard]] static Socket connect_to(const std::string& host,
+                                         std::uint16_t port);
+
+  /// A connected AF_UNIX socketpair — the wire tests' harness: real fd
+  /// semantics (EOF, partial reads) without binding ports.
+  [[nodiscard]] static std::pair<Socket, Socket> pair();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Bound every subsequent read: a read that sits longer than
+  /// `timeout_ms` throws WireTimeoutError. 0 restores blocking reads.
+  void set_recv_timeout(unsigned timeout_ms);
+
+  /// Wait up to `timeout_ms` for the socket to become readable (data or
+  /// EOF). Lets a serve loop poll its stop flag between frames without
+  /// putting a timeout under a legitimately slow mid-frame read.
+  [[nodiscard]] bool wait_readable(unsigned timeout_ms) const;
+
+  /// Read exactly `size` bytes. EOF anywhere → WireTruncatedError.
+  void read_exact(void* data, std::size_t size);
+
+  /// read_exact, except a clean EOF *before the first byte* returns
+  /// false — the frame-boundary read, where a peer hanging up is a
+  /// legal end of conversation rather than a truncation.
+  [[nodiscard]] bool read_exact_or_eof(void* data, std::size_t size);
+
+  /// Write all of `data` (looping over short writes). EPIPE/ECONNRESET
+  /// → WireConnectionError, anything else → WireIoError.
+  void write_all(const void* data, std::size_t size);
+
+  /// Gather-write every buffer in order with writev(2) — one syscall
+  /// per batch and no intermediate copy, which is what lets the wire
+  /// layer send an N×D embedding block straight out of the corpus
+  /// mirror behind a small header.
+  void write_vectored(const std::vector<ConstBuffer>& buffers);
+
+  /// Half-close both directions (peer reads EOF); keeps the fd for the
+  /// destructor. Used by tests to simulate mid-stream disconnects.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback listener for shard servers: binds 127.0.0.1:`port`
+/// (port 0 = ephemeral; port() reports the choice).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Wait up to `timeout_ms` for one connection; nullopt on timeout or
+  /// after close(). The bounded wait is what lets an accept loop poll
+  /// its stop flag without busy-spinning.
+  [[nodiscard]] std::optional<Socket> accept(unsigned timeout_ms);
+
+  /// Stop accepting; any blocked accept() returns nullopt promptly.
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace gnn4ip::net

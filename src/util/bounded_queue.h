@@ -15,6 +15,7 @@
 // enqueued before close() is ever lost.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <optional>
@@ -73,6 +74,34 @@ class BoundedQueue {
     {
       MutexLock lock(mu_);
       while (!closed_ && items_.empty()) items_cv_.wait(mu_);
+      if (items_.empty()) return std::nullopt;  // closed and fully drained
+      value.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_cv_.notify_one();
+    return value;
+  }
+
+  /// pop() with a deadline: block at most `timeout` for an item. Returns
+  /// the popped item, or std::nullopt when the wait timed out with the
+  /// queue still empty — or when the queue is closed and fully drained
+  /// (indistinguishable by design: both mean "nothing now"; callers that
+  /// need the difference check closed() && empty() on nullopt). This is
+  /// the accept/drain-loop primitive: a server thread can wake every
+  /// `timeout` to check its stop flag without busy-polling and without
+  /// missing an item that arrives mid-wait.
+  template <typename Rep, typename Period>
+  [[nodiscard]] std::optional<T> pop_for(
+      const std::chrono::duration<Rep, Period>& timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    std::optional<T> value;
+    {
+      MutexLock lock(mu_);
+      while (!closed_ && items_.empty()) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return std::nullopt;
+        items_cv_.wait_for(mu_, deadline - now);
+      }
       if (items_.empty()) return std::nullopt;  // closed and fully drained
       value.emplace(std::move(items_.front()));
       items_.pop_front();

@@ -62,6 +62,11 @@ inline constexpr LockRank kSync{20, "service-sync"};
 inline constexpr LockRank kQueue{30, "bounded-queue"};
 inline constexpr LockRank kCommit{40, "commit-turnstile"};
 inline constexpr LockRank kState{50, "service-state"};
+/// DistCorpus's connection/metadata lock: below the service state (the
+/// audit layer calls into the distributed corpus holding state_mu_),
+/// above the epoch block so a distributed corpus could layer on an
+/// in-process one without inverting the table.
+inline constexpr LockRank kDist{60, "dist-corpus"};
 inline constexpr LockRank kEpoch{100, "corpus-epoch"};
 inline constexpr LockRank kIndex{101, "corpus-index"};
 

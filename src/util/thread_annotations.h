@@ -34,6 +34,7 @@
 //    pair inside wait() through the annotated Mutex methods.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -197,6 +198,15 @@ class CondVar {
   /// Atomically release `mu`, wait, re-acquire. Callers always wrap
   /// this in a `while (!pred)` loop (spurious wakeups).
   void wait(Mutex& mu) GNN4IP_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// wait() with a deadline: returns false on timeout, true otherwise
+  /// (notify or spurious wakeup — callers re-check their predicate
+  /// either way, so the return value only bounds the wait).
+  template <typename Rep, typename Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      GNN4IP_REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout) == std::cv_status::no_timeout;
+  }
 
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <future>
 #include <string>
@@ -23,6 +24,7 @@
 #include "core/sharded_corpus.h"
 #include "data/corpus.h"
 #include "data/rtl_designs.h"
+#include "util/bounded_queue.h"
 #include "util/contract.h"
 
 namespace gnn4ip::audit {
@@ -319,11 +321,15 @@ TEST(MultiConsumer, ShardedCorpusReadersRaceAdmissionsAndCompaction) {
   ASSERT_EQ(corpus.add("base", embed(0)), 0u);
 
   std::vector<std::thread> threads;
-  // Two admitters, disjoint name spaces. They yield between admissions
-  // so the spinning readers below cannot monopolize the shared locks
-  // (the production access pattern interleaves reads and commits; a
-  // hot reader spin would starve writers on a reader-preferring
-  // rwlock, which is a scheduling artifact, not a correctness bug).
+  // Writer-progress pacing: admitters push a token per admission and
+  // the readers/compactor time-bound-wait on the queue between sweeps
+  // (pop_for), so a hot reader spin cannot starve writers on a
+  // reader-preferring rwlock — a real timed backoff tied to actual
+  // writer progress, not a std::this_thread::yield scheduling hint
+  // (the production access pattern interleaves reads and commits; the
+  // starvation this prevents is a scheduling artifact, not a
+  // correctness bug).
+  util::BoundedQueue<std::size_t> progress(64);
   for (std::size_t w = 0; w < 2; ++w) {
     threads.emplace_back([&, w] {
       for (std::size_t k = 0; k < 48; ++k) {
@@ -343,7 +349,7 @@ TEST(MultiConsumer, ShardedCorpusReadersRaceAdmissionsAndCompaction) {
           } catch (const std::exception&) {
           }
         }
-        std::this_thread::yield();
+        (void)progress.try_push(std::size_t{k});  // signal, never block
       }
     });
   }
@@ -365,7 +371,9 @@ TEST(MultiConsumer, ShardedCorpusReadersRaceAdmissionsAndCompaction) {
         const tensor::Matrix scores = corpus.score_new_rows(0);
         ASSERT_EQ(scores.rows(), scores.cols());  // snapshot is square
         ASSERT_EQ(corpus.live(0), true);
-        std::this_thread::yield();
+        // Wait for writer progress (or 1ms, whichever first) before the
+        // next sweep — yields the locks to the admitters for real.
+        (void)progress.pop_for(std::chrono::milliseconds(1));
       }
     });
   }
@@ -377,7 +385,7 @@ TEST(MultiConsumer, ShardedCorpusReadersRaceAdmissionsAndCompaction) {
       if (!mapping.empty()) {
         ASSERT_EQ(mapping[0], 0u);
       }
-      std::this_thread::yield();
+      (void)progress.pop_for(std::chrono::milliseconds(1));
     }
   });
 

@@ -370,6 +370,62 @@ TEST(BoundedQueue, PopDrainsRemainingThenReportsClosed) {
   EXPECT_EQ(queue.pop(), std::nullopt);  // stays closed
 }
 
+TEST(BoundedQueue, PopForTimesOutEmptyHanded) {
+  BoundedQueue<int> queue(4);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(10)), std::nullopt);
+  // The deadline actually bounds the wait — no indefinite block on an
+  // empty queue (the accept-loop contract).
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(9));
+  EXPECT_FALSE(queue.closed());  // a timeout is not a close
+}
+
+TEST(BoundedQueue, PopForReturnsItemArrivingMidWait) {
+  BoundedQueue<int> queue(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(queue.try_push(7));
+  });
+  // A generous deadline: the item must arrive well before it, and
+  // pop_for must hand it over rather than sleep out the full window.
+  EXPECT_EQ(queue.pop_for(std::chrono::seconds(10)), std::optional<int>(7));
+  producer.join();
+}
+
+TEST(BoundedQueue, PopForImmediateWhenItemPending) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  // Zero deadline with an item already queued: delivery, not a timeout.
+  EXPECT_EQ(queue.pop_for(std::chrono::milliseconds(0)),
+            std::optional<int>(1));
+}
+
+TEST(BoundedQueue, PopForDrainsThenReportsClosed) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.try_push(1));
+  queue.close();
+  // Drain-on-close parity with pop(): the pre-close item first, then
+  // nullopt immediately (closed + empty never waits out the deadline).
+  EXPECT_EQ(queue.pop_for(std::chrono::seconds(10)), std::optional<int>(1));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.pop_for(std::chrono::seconds(10)), std::nullopt);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(BoundedQueue, CloseWakesPopForMidWait) {
+  BoundedQueue<int> queue(4);
+  std::optional<int> result = 42;
+  std::thread consumer([&] {
+    result = queue.pop_for(std::chrono::seconds(30));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();
+  consumer.join();  // must return promptly, not after 30s
+  EXPECT_EQ(result, std::nullopt);
+}
+
 TEST(BoundedQueue, CloseWakesBlockedConsumer) {
   BoundedQueue<int> queue(2);
   std::optional<int> result = 42;
